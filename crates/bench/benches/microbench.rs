@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks backing the paper's cost arguments: simulator
+//! throughput (how cheap our "environment" is vs the paper's ~1 minute/eval on
+//! hardware), partitioner runtime, tensor/LSTM kernels and a full PPO update.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eagle_core::{AgentScale, EagleAgent};
+use eagle_devsim::{predefined, Benchmark, Machine};
+use eagle_partition::{fluid::FluidCommunities, metis_like::MetisLike, Partitioner};
+use eagle_rl::{OptimConfig, Ppo, StochasticPolicy, TrainSample};
+use eagle_tensor::{Params, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_simulator(c: &mut Criterion) {
+    let machine = Machine::paper_machine();
+    let mut group = c.benchmark_group("simulate_step");
+    group.sample_size(30);
+    for b in Benchmark::ALL {
+        let graph = b.graph_for(&machine);
+        let placement = predefined::single_gpu(&graph, &machine);
+        group.bench_function(b.name(), |bench| {
+            bench.iter(|| eagle_devsim::simulate(&graph, &machine, &placement))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::Gnmt.graph_for(&machine);
+    let mut group = c.benchmark_group("partition_gnmt_k32");
+    group.sample_size(10);
+    group.bench_function("metis_like", |bench| {
+        bench.iter(|| MetisLike::default().partition(&graph, 32))
+    });
+    group.bench_function("fluid", |bench| {
+        bench.iter(|| FluidCommunities::default().partition(&graph, 32))
+    });
+    group.finish();
+}
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let a = Tensor::full(128, 256, 0.5);
+    let b = Tensor::full(256, 128, -0.25);
+    c.bench_function("matmul_128x256x128", |bench| bench.iter(|| a.matmul(&b)));
+
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let lstm = eagle_nn::Lstm::new(&mut params, "l", 64, 64, &mut rng);
+    let xs = Tensor::full(32, 64, 0.1);
+    c.bench_function("lstm_seq32_h64", |bench| {
+        bench.iter(|| {
+            let mut tape = eagle_tensor::Tape::new();
+            let x = tape.leaf(xs.clone());
+            lstm.forward(&mut tape, &params, x)
+        })
+    });
+}
+
+fn bench_agent_and_ppo(c: &mut Criterion) {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+
+    c.bench_function("eagle_sample_inception_tiny", |bench| {
+        let mut srng = ChaCha8Rng::seed_from_u64(3);
+        bench.iter(|| agent.sample(&params, &mut srng))
+    });
+
+    let mut srng = ChaCha8Rng::seed_from_u64(4);
+    let batch: Vec<TrainSample> = (0..4)
+        .map(|_| {
+            let (actions, old_log_prob) = agent.sample(&params, &mut srng);
+            TrainSample { actions, old_log_prob, advantage: 0.5 }
+        })
+        .collect();
+    let mut group = c.benchmark_group("ppo_update");
+    group.sample_size(10);
+    group.bench_function("eagle_inception_tiny_b4", |bench| {
+        bench.iter_batched(
+            || (params.clone(), Ppo::new(OptimConfig::default(), 0.3, 2)),
+            |(mut p, mut ppo)| ppo.update(&agent, &mut p, &batch),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_partitioners,
+    bench_tensor_kernels,
+    bench_agent_and_ppo
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation: EMA reward baseline on vs off for EAGLE(PPO) on GNMT (the paper argues
+//! the EMA baseline replaces a sample-starved critic, Sec. III-D).
+
+use eagle_bench::{fmt_time, Cli};
+use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
+use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::paper_machine();
+    let b = Benchmark::Gnmt;
+    let graph = b.graph_for(&machine);
+    println!("Ablation: EMA baseline, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
+    let mut csv = String::from("baseline,step_time,invalid\n");
+    for use_baseline in [true, false] {
+        let mut env =
+            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 42);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+        let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
+        cfg.use_baseline = use_baseline;
+        let r = train(&agent, &mut params, &mut env, &cfg);
+        let label = if use_baseline { "ema" } else { "none" };
+        println!("  baseline={label:<5} -> {} (invalid {})", fmt_time(r.final_step_time), r.num_invalid);
+        csv.push_str(&format!("{label},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
+    }
+    cli.write_artifact("ablation_baseline.csv", &csv);
+}

@@ -1,0 +1,31 @@
+//! Ablation: entropy-bonus coefficient sweep for EAGLE(PPO) on GNMT
+//! (the paper fixes it at 0.01).
+
+use eagle_bench::{fmt_time, Cli};
+use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
+use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::paper_machine();
+    let b = Benchmark::Gnmt;
+    let graph = b.graph_for(&machine);
+    println!("Ablation: entropy coefficient, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
+    let mut csv = String::from("ent_coef,step_time,invalid\n");
+    for coef in [0.0f32, 0.01, 0.05, 0.2] {
+        let mut env =
+            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 43);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+        let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
+        cfg.optim.ent_coef = coef;
+        let r = train(&agent, &mut params, &mut env, &cfg);
+        println!("  ent_coef={coef:<5} -> {} (invalid {})", fmt_time(r.final_step_time), r.num_invalid);
+        csv.push_str(&format!("{coef},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
+    }
+    cli.write_artifact("ablation_entropy.csv", &csv);
+}

@@ -1,0 +1,32 @@
+//! Ablation: number of groups for EAGLE(PPO) on GNMT (the paper fixes k = 256;
+//! more groups = finer placement control but a longer decode sequence).
+
+use eagle_bench::{fmt_time, Cli};
+use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
+use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::paper_machine();
+    let b = Benchmark::Gnmt;
+    let graph = b.graph_for(&machine);
+    println!("Ablation: group count, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
+    let mut csv = String::from("num_groups,step_time,invalid\n");
+    for k in [8usize, 16, 32, 64] {
+        let mut env =
+            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 44);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+        let mut scale = cli.scale;
+        scale.num_groups = k;
+        let agent = EagleAgent::new(&mut params, &graph, &machine, scale, &mut rng);
+        let cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
+        let r = train(&agent, &mut params, &mut env, &cfg);
+        println!("  k={k:<4} -> {} (invalid {})", fmt_time(r.final_step_time), r.num_invalid);
+        csv.push_str(&format!("{k},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
+    }
+    cli.write_artifact("ablation_groups.csv", &csv);
+}

@@ -1,0 +1,32 @@
+//! Ablation: reward transform (`-sqrt(t)` — the paper's Eq. 4 — vs `-t` vs
+//! `-log(1+t)`) for EAGLE(PPO) on GNMT. Supports DESIGN.md's design-choice index.
+
+use eagle_bench::{fmt_time, Cli};
+use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
+use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_rl::RewardTransform;
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::paper_machine();
+    let b = Benchmark::Gnmt;
+    let graph = b.graph_for(&machine);
+    println!("Ablation: reward transform, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
+    let mut csv = String::from("transform,step_time,invalid\n");
+    for tr in [RewardTransform::NegSqrt, RewardTransform::NegLinear, RewardTransform::NegLog] {
+        let mut env =
+            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 41);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+        let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
+        cfg.reward = tr;
+        let r = train(&agent, &mut params, &mut env, &cfg);
+        println!("  {:<10} -> {} (invalid {})", tr.label(), fmt_time(r.final_step_time), r.num_invalid);
+        csv.push_str(&format!("{},{},{}\n", tr.label(), fmt_time(r.final_step_time), r.num_invalid));
+    }
+    cli.write_artifact("ablation_reward.csv", &csv);
+}

@@ -1,0 +1,43 @@
+//! Landscape oracle: simulated-annealing bounds for each benchmark, reported next
+//! to the learned placements in EXPERIMENTS.md. Not a paper baseline — a
+//! certification of how much headroom the calibrated landscape offers.
+
+use eagle_bench::{fmt_time, Cli};
+use eagle_devsim::{predefined, search, Benchmark, Machine};
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::paper_machine();
+    let iters = cli.samples_override.unwrap_or(4000);
+    println!("Simulated-annealing oracle ({iters} evals, topo-chunk groups, k = {})", cli.scale.num_groups);
+    let mut csv = String::from("model,reference,oracle\n");
+    for b in Benchmark::ALL {
+        let graph = b.graph_for(&machine);
+        let groups = search::topo_chunks(&graph, cli.scale.num_groups);
+        let sa = search::simulated_annealing(&graph, &machine, &groups, iters, cli.seed);
+        let reference = match b {
+            Benchmark::InceptionV3 => eagle_devsim::simulate(
+                &graph,
+                &machine,
+                &predefined::single_gpu(&graph, &machine),
+            )
+            .step_time(),
+            Benchmark::Gnmt => predefined::human_expert(&graph, &machine)
+                .and_then(|p| eagle_devsim::simulate(&graph, &machine, &p).step_time()),
+            Benchmark::BertBase => eagle_devsim::simulate(
+                &graph,
+                &machine,
+                &predefined::bert_layer_split(&graph, &machine),
+            )
+            .step_time(),
+        };
+        println!(
+            "  {:<13} reference {:<7} oracle {}",
+            b.name(),
+            fmt_time(reference),
+            fmt_time(sa.best_time)
+        );
+        csv.push_str(&format!("{},{},{}\n", b.name(), fmt_time(reference), fmt_time(sa.best_time)));
+    }
+    cli.write_artifact("oracle.csv", &csv);
+}

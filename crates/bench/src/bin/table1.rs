@@ -1,0 +1,48 @@
+//! Table I: per-step time of placements found by the hierarchical model with
+//! different groupers (feed-forward learned vs METIS vs NetworkX fluid communities),
+//! all using the Hierarchical Planner's seq2seq(after) placer trained with PPO.
+//! With `--curves`, also writes `fig2.csv` — the BERT training curves per grouper
+//! (paper Fig. 2).
+
+use eagle_bench::{fmt_time, print_row, AgentKind, Cli, GrouperKind};
+use eagle_core::{Algo, Curve, PlacerKind};
+use eagle_devsim::Benchmark;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table I: per-step time (s) by grouper (scale = {})", cli.scale_name);
+    println!("| Models        | Feed-forward | METIS | Networkx |");
+    println!("|---------------|--------------|-------|----------|");
+    let mut fig2: Vec<Curve> = Vec::new();
+    let mut csv = String::from("model,grouper,step_time,invalid\n");
+    for b in Benchmark::ALL {
+        let mut cells = Vec::new();
+        for (label, kind) in [
+            ("Feed-forward", AgentKind::HierarchicalPlanner),
+            ("METIS", AgentKind::FixedGroups(GrouperKind::Metis, PlacerKind::Seq2SeqAfter)),
+            ("Networkx", AgentKind::FixedGroups(GrouperKind::Networkx, PlacerKind::Seq2SeqAfter)),
+        ] {
+            let out = eagle_bench::run(b, kind, Algo::Ppo, &cli);
+            cells.push(fmt_time(out.final_step_time));
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                b.name(),
+                label,
+                fmt_time(out.final_step_time),
+                out.num_invalid
+            ));
+            if cli.curves && b == Benchmark::BertBase {
+                let mut c = out.curve;
+                c.label = label.to_string();
+                fig2.push(c);
+            }
+        }
+        print_row(b.name(), &cells);
+    }
+    cli.write_artifact("table1.csv", &csv);
+    if cli.curves {
+        cli.write_artifact("fig2.csv", &Curve::multi_csv(&fig2));
+    }
+    let p = Benchmark::BertBase.paper_numbers();
+    println!("\npaper reference (BERT row): FFN 5.534 / METIS 7.526 / Networkx 7.584; table IV HP {p:?}", p = p.hierarchical_planner);
+}

@@ -1,0 +1,37 @@
+//! Table II: per-step time of placements found with a fixed METIS grouping and
+//! different placer networks — seq2seq with attention before vs after the decoder,
+//! and the 2-layer GCN — all trained with PPO.
+
+use eagle_bench::{fmt_time, print_row, AgentKind, Cli, GrouperKind};
+use eagle_core::{Algo, PlacerKind};
+use eagle_devsim::Benchmark;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table II: per-step time (s) by placer, METIS groups (scale = {})", cli.scale_name);
+    println!("| Models        | Seq2Seq(before) | Seq2Seq(after) | GCN |");
+    println!("|---------------|-----------------|----------------|-----|");
+    let mut csv = String::from("model,placer,step_time,invalid\n");
+    for b in Benchmark::ALL {
+        let mut cells = Vec::new();
+        for placer in [PlacerKind::Seq2SeqBefore, PlacerKind::Seq2SeqAfter, PlacerKind::Gcn] {
+            let out = eagle_bench::run(
+                b,
+                AgentKind::FixedGroups(GrouperKind::Metis, placer),
+                Algo::Ppo,
+                &cli,
+            );
+            cells.push(fmt_time(out.final_step_time));
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                b.name(),
+                placer.label(),
+                fmt_time(out.final_step_time),
+                out.num_invalid
+            ));
+        }
+        print_row(b.name(), &cells);
+    }
+    cli.write_artifact("table2.csv", &csv);
+    println!("\npaper reference: Inception .067/.067/.072; GNMT 1.440/1.418/2.040; BERT 4.120/5.534/7.214");
+}

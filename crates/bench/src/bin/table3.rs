@@ -1,0 +1,31 @@
+//! Table III: per-step time of placements found by the full EAGLE agent trained
+//! with REINFORCE vs PPO vs PPO joined with cross-entropy minimization.
+
+use eagle_bench::{fmt_time, print_row, AgentKind, Cli};
+use eagle_core::Algo;
+use eagle_devsim::Benchmark;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table III: EAGLE per-step time (s) by training algorithm (scale = {})", cli.scale_name);
+    println!("| Models        | REINFORCE | PPO | PPO+CE |");
+    println!("|---------------|-----------|-----|--------|");
+    let mut csv = String::from("model,algo,step_time,invalid\n");
+    for b in Benchmark::ALL {
+        let mut cells = Vec::new();
+        for algo in [Algo::Reinforce, Algo::Ppo, Algo::PpoCe] {
+            let out = eagle_bench::run(b, AgentKind::Eagle, algo, &cli);
+            cells.push(fmt_time(out.final_step_time));
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                b.name(),
+                algo.label(),
+                fmt_time(out.final_step_time),
+                out.num_invalid
+            ));
+        }
+        print_row(b.name(), &cells);
+    }
+    cli.write_artifact("table3.csv", &csv);
+    println!("\npaper reference: Inception .067/.067/.067; GNMT 2.216/1.379/1.507; BERT 2.425/2.287/2.488");
+}

@@ -1,0 +1,77 @@
+//! Table IV (the headline result): per-step time of the best placement found by
+//! Single GPU / Human Experts / Hierarchical Planner / Post / EAGLE(PPO) /
+//! EAGLE(PPO+CE) on all three benchmarks. `OOM` marks placements that do not fit.
+//! With `--curves`, writes `fig5.csv` / `fig6.csv` / `fig7.csv` — the per-model
+//! training curves of the three RL approaches (paper Figs. 5-7).
+
+use eagle_bench::{fmt_time, print_row, AgentKind, Cli};
+use eagle_core::{Algo, Curve};
+use eagle_devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::paper_machine();
+    println!("Table IV: per-step time (s) of found placements (scale = {})", cli.scale_name);
+    println!("| Models        | Single GPU | Human Experts | Hierarchical Planner | Post | EAGLE (PPO) | EAGLE (PPO+CE) |");
+    println!("|---------------|------------|---------------|----------------------|------|-------------|----------------|");
+    let mut csv = String::from("model,approach,step_time,invalid\n");
+    for b in Benchmark::ALL {
+        let graph = b.graph_for(&machine);
+        let mut env =
+            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 500);
+        let mut cells = Vec::new();
+
+        // Static baselines under the final measurement protocol.
+        let single = env.evaluate_final(&predefined::single_gpu(&graph, &machine));
+        cells.push(fmt_time(single));
+        csv.push_str(&format!("{},Single GPU,{},0\n", b.name(), fmt_time(single)));
+        let expert = predefined::human_expert(&graph, &machine)
+            .and_then(|p| env.evaluate_final(&p));
+        cells.push(fmt_time(expert));
+        csv.push_str(&format!("{},Human Experts,{},0\n", b.name(), fmt_time(expert)));
+
+        // Learned approaches.
+        let mut curves: Vec<Curve> = Vec::new();
+        for (label, kind, algo) in [
+            ("Hierarchical Planner", AgentKind::HierarchicalPlanner, Algo::Ppo),
+            ("Post", AgentKind::Post, Algo::PpoCe),
+            ("EAGLE (PPO)", AgentKind::Eagle, Algo::Ppo),
+            ("EAGLE (PPO+CE)", AgentKind::Eagle, Algo::PpoCe),
+        ] {
+            let out = eagle_bench::run(b, kind, algo, &cli);
+            cells.push(fmt_time(out.final_step_time));
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                b.name(),
+                label,
+                fmt_time(out.final_step_time),
+                out.num_invalid
+            ));
+            if cli.curves {
+                let mut c = out.curve;
+                c.label = label.to_string();
+                curves.push(c);
+            }
+        }
+        print_row(b.name(), &cells);
+        if cli.curves {
+            let fig = match b {
+                Benchmark::InceptionV3 => "fig5.csv",
+                Benchmark::Gnmt => "fig6.csv",
+                Benchmark::BertBase => "fig7.csv",
+            };
+            cli.write_artifact(fig, &Curve::multi_csv(&curves));
+        }
+        let p = b.paper_numbers();
+        println!(
+            "  (paper: {} / {} / {:.3} / {:.3} / {:.3} / {:.3})",
+            p.single_gpu.map(|v| format!("{v:.3}")).unwrap_or("OOM".into()),
+            p.human_expert.map(|v| format!("{v:.3}")).unwrap_or("OOM".into()),
+            p.hierarchical_planner,
+            p.post,
+            p.eagle_ppo,
+            p.eagle_ppo_ce
+        );
+    }
+    cli.write_artifact("table4.csv", &csv);
+}

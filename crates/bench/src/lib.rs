@@ -1,0 +1,249 @@
+//! # eagle-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index):
+//!
+//! * `table1` — grouper comparison (feed-forward vs METIS vs NetworkX), Table I,
+//!   with `--curves` emitting the BERT training curves of Fig. 2.
+//! * `table2` — placer comparison (seq2seq before/after attention vs GCN), Table II.
+//! * `table3` — training-algorithm comparison (REINFORCE / PPO / PPO+CE), Table III.
+//! * `table4` — headline comparison against all baselines, Table IV, with
+//!   `--curves` emitting the per-model curves of Figs. 5–7.
+//! * `ablation_*` — design-choice sweeps beyond the paper's tables.
+//!
+//! Every binary accepts `--scale tiny|quick|paper` (default `quick`), `--samples N`
+//! overrides per-model sample budgets, `--seed S`, and `--out DIR` for CSV exports.
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+use eagle_core::{
+    train, AgentScale, Algo, Curve, EagleAgent, FixedGroupAgent, HpAgent,
+    PlacerKind, TrainResult, TrainerConfig,
+};
+use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_partition::{fluid::FluidCommunities, metis_like::MetisLike, Partitioner};
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Agent scale preset.
+    pub scale: AgentScale,
+    /// Name of the scale preset (for reporting).
+    pub scale_name: String,
+    /// Per-model sample-budget override.
+    pub samples_override: Option<usize>,
+    /// RNG seed for agent init and sampling.
+    pub seed: u64,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: std::path::PathBuf,
+    /// Whether to export training curves.
+    pub curves: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        let mut scale_name = "quick".to_string();
+        let mut samples_override = None;
+        let mut seed = 7u64;
+        let mut out_dir = std::path::PathBuf::from("results");
+        let mut curves = false;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale_name = args.get(i).expect("--scale needs a value").clone();
+                }
+                "--samples" => {
+                    i += 1;
+                    samples_override =
+                        Some(args.get(i).expect("--samples needs a value").parse().expect("number"));
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args.get(i).expect("--seed needs a value").parse().expect("number");
+                }
+                "--out" => {
+                    i += 1;
+                    out_dir = args.get(i).expect("--out needs a value").into();
+                }
+                "--curves" => curves = true,
+                other => {
+                    eprintln!(
+                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        let scale = AgentScale::from_name(&scale_name)
+            .unwrap_or_else(|| panic!("unknown scale '{scale_name}'"));
+        Self { scale, scale_name, samples_override, seed, out_dir, curves }
+    }
+
+    /// Default per-model training budgets at this scale: larger graphs get more
+    /// samples, matching the paper's longer training times for GNMT/BERT.
+    pub fn samples_for(&self, b: Benchmark) -> usize {
+        if let Some(s) = self.samples_override {
+            return s;
+        }
+        let base = match b {
+            Benchmark::InceptionV3 => 300,
+            Benchmark::Gnmt => 900,
+            Benchmark::BertBase => 900,
+        };
+        match self.scale_name.as_str() {
+            "tiny" => base / 10,
+            "paper" => base * 4,
+            _ => base,
+        }
+    }
+
+    /// Writes an artifact into the output directory, creating it if needed.
+    pub fn write_artifact(&self, name: &str, contents: &str) {
+        std::fs::create_dir_all(&self.out_dir).expect("create output dir");
+        let path = self.out_dir.join(name);
+        std::fs::write(&path, contents).expect("write artifact");
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Which agent an experiment trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentKind {
+    /// Full EAGLE (learned grouper + linking RNN + seq2seq-before placer).
+    Eagle,
+    /// Hierarchical Planner (sampled grouping + seq2seq-after placer).
+    HierarchicalPlanner,
+    /// Fixed heuristic groups + a chosen placer network.
+    FixedGroups(GrouperKind, PlacerKind),
+    /// Post (fixed groups + simple placer; train with [`Algo::PpoCe`]).
+    Post,
+}
+
+/// Which fixed grouping a [`AgentKind::FixedGroups`] agent uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrouperKind {
+    /// Multilevel k-way partitioner.
+    Metis,
+    /// Asynchronous fluid communities.
+    Networkx,
+}
+
+impl GrouperKind {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GrouperKind::Metis => "METIS",
+            GrouperKind::Networkx => "Networkx",
+        }
+    }
+
+    /// Runs the heuristic.
+    pub fn partition(self, graph: &eagle_opgraph::OpGraph, k: usize) -> Vec<usize> {
+        match self {
+            GrouperKind::Metis => MetisLike::default().partition(graph, k),
+            GrouperKind::Networkx => FluidCommunities::default().partition(graph, k),
+        }
+    }
+}
+
+/// Outcome of one (benchmark, agent, algorithm) training run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Final per-step time of the best placement (`None` = never found a valid one).
+    pub final_step_time: Option<f64>,
+    /// Training curve.
+    pub curve: Curve,
+    /// Invalid placements encountered.
+    pub num_invalid: usize,
+}
+
+/// Trains the given agent kind on a benchmark and returns the outcome.
+/// The environment seed is fixed per benchmark so approaches see identical noise.
+pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
+    let machine = Machine::paper_machine();
+    let graph = b.graph_for(&machine);
+    let mut env = Environment::new(
+        graph.clone(),
+        machine.clone(),
+        MeasureConfig::default(),
+        1000 + cli.seed,
+    );
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+    let samples = cli.samples_for(b);
+    let mut cfg = TrainerConfig::paper(algo, samples);
+    cfg.seed = cli.seed.wrapping_add(13);
+
+    let result: TrainResult = match kind {
+        AgentKind::Eagle => {
+            let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
+            train(&agent, &mut params, &mut env, &cfg)
+        }
+        AgentKind::HierarchicalPlanner => {
+            // HP's per-op grouping decisions make each sample several times more
+            // expensive; cap its budget so tables finish in comparable time (its
+            // convergence behaviour is visible well within this budget).
+            cfg.total_samples = samples.min(samples / 2 + 100);
+            let agent = HpAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
+            train(&agent, &mut params, &mut env, &cfg)
+        }
+        AgentKind::FixedGroups(grouper, placer) => {
+            let k = cli.scale.num_groups.min(graph.len());
+            let group_of = grouper.partition(&graph, k);
+            let agent = FixedGroupAgent::new(
+                &mut params,
+                format!("{}+{}", grouper.label(), placer.label()),
+                &graph,
+                &machine,
+                group_of,
+                k,
+                placer,
+                cli.scale,
+                &mut rng,
+            );
+            train(&agent, &mut params, &mut env, &cfg)
+        }
+        AgentKind::Post => {
+            let k = cli.scale.num_groups.min(graph.len());
+            let group_of = GrouperKind::Metis.partition(&graph, k);
+            let agent = FixedGroupAgent::post(
+                &mut params,
+                &graph,
+                &machine,
+                group_of,
+                k,
+                cli.scale,
+                &mut rng,
+            );
+            train(&agent, &mut params, &mut env, &cfg)
+        }
+    };
+
+    RunOutcome {
+        final_step_time: result.final_step_time,
+        curve: result.curve,
+        num_invalid: result.num_invalid,
+    }
+}
+
+/// Formats an optional step time like the paper's tables (`OOM` for invalid).
+pub fn fmt_time(t: Option<f64>) -> String {
+    match t {
+        Some(v) => format!("{v:.3}"),
+        None => "OOM".to_string(),
+    }
+}
+
+/// Prints a table row.
+pub fn print_row(model: &str, cells: &[String]) {
+    println!("| {:<13} | {} |", model, cells.join(" | "));
+}

@@ -1,0 +1,288 @@
+//! Agents with a *fixed* grouping and a learned placer.
+//!
+//! These cover three of the paper's studies:
+//! * Table I — heuristic groupers (METIS / fluid communities) under the
+//!   hierarchical model's placer;
+//! * Table II — placer comparison (seq2seq before/after attention vs GCN) with a
+//!   fixed METIS grouping;
+//! * the Post baseline — fixed groups plus a "simple neural network" placer,
+//!   trained with PPO + cross-entropy minimization.
+
+use eagle_devsim::{DeviceId, Machine, Placement};
+use eagle_nn::{
+    embedding, normalize_adjacency, AttentionMode, GcnPlacer, Placer, Seq2SeqPlacer,
+    SimplePlacer,
+};
+use eagle_opgraph::OpGraph;
+use eagle_rl::{ScoreHandle, StochasticPolicy};
+use eagle_tensor::{Params, Tape, Tensor};
+use rand::Rng;
+
+use crate::scale::AgentScale;
+
+use super::PlacementAgent;
+
+/// Which placer network a [`FixedGroupAgent`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacerKind {
+    /// Seq2seq with attention before the decoder (EAGLE's choice).
+    Seq2SeqBefore,
+    /// Seq2seq with attention after the decoder (Hierarchical Planner's choice).
+    Seq2SeqAfter,
+    /// Two-layer GCN over the group graph.
+    Gcn,
+    /// Post's simple per-group MLP.
+    Simple,
+}
+
+impl PlacerKind {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacerKind::Seq2SeqBefore => "Seq2Seq(before)",
+            PlacerKind::Seq2SeqAfter => "Seq2Seq(after)",
+            PlacerKind::Gcn => "GCN",
+            PlacerKind::Simple => "Simple",
+        }
+    }
+}
+
+/// A placement agent over a fixed op-to-group assignment.
+pub struct FixedGroupAgent {
+    name: String,
+    group_of: Vec<usize>,
+    emb: Tensor,
+    placer: Box<dyn Placer + Send>,
+    devices: Vec<DeviceId>,
+    num_groups: usize,
+}
+
+impl FixedGroupAgent {
+    /// Builds the agent. `group_of` assigns each op of `graph` to one of `k`
+    /// groups (from a heuristic partitioner or any other source).
+    pub fn new(
+        params: &mut Params,
+        name: impl Into<String>,
+        graph: &OpGraph,
+        machine: &Machine,
+        group_of: Vec<usize>,
+        num_groups: usize,
+        kind: PlacerKind,
+        scale: AgentScale,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(group_of.len(), graph.len(), "one group per op");
+        assert!(group_of.iter().all(|&g| g < num_groups), "group index in range");
+        let name = name.into();
+        let emb = embedding::group_features(graph, &group_of, num_groups);
+        let d_in = emb.cols();
+        let devices = super::device_table(machine);
+        let nd = devices.len();
+        let pname = format!("{name}/placer");
+        let placer: Box<dyn Placer + Send> = match kind {
+            PlacerKind::Seq2SeqBefore => Box::new(Seq2SeqPlacer::new(
+                params,
+                &pname,
+                d_in,
+                scale.placer_hidden,
+                scale.attn_dim,
+                nd,
+                AttentionMode::Before,
+                rng,
+            )),
+            PlacerKind::Seq2SeqAfter => Box::new(Seq2SeqPlacer::new(
+                params,
+                &pname,
+                d_in,
+                scale.placer_hidden,
+                scale.attn_dim,
+                nd,
+                AttentionMode::After,
+                rng,
+            )),
+            PlacerKind::Gcn => {
+                let adj = normalize_adjacency(graph, &group_of, num_groups);
+                Box::new(GcnPlacer::new(params, &pname, d_in, scale.simple_hidden, nd, adj, rng))
+            }
+            PlacerKind::Simple => {
+                Box::new(SimplePlacer::new(params, &pname, d_in, scale.simple_hidden, nd, rng))
+            }
+        };
+        Self { name, group_of, emb, placer, devices, num_groups }
+    }
+
+    /// Builds the Post baseline: fixed groups + simple placer. Post groups
+    /// operations before placing (manually / by co-location in its paper); we hand
+    /// it the same groups the experiment uses for the other fixed-group agents.
+    pub fn post(
+        params: &mut Params,
+        graph: &OpGraph,
+        machine: &Machine,
+        group_of: Vec<usize>,
+        num_groups: usize,
+        scale: AgentScale,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut agent = Self::new(
+            params,
+            "post",
+            graph,
+            machine,
+            group_of,
+            num_groups,
+            PlacerKind::Simple,
+            scale,
+            rng,
+        );
+        agent.name = "Post".into();
+        agent
+    }
+
+    /// The fixed grouping.
+    pub fn group_of(&self) -> &[usize] {
+        &self.group_of
+    }
+
+    /// Number of groups (= action-vector length).
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+}
+
+impl StochasticPolicy for FixedGroupAgent {
+    fn sample(&self, params: &Params, rng: &mut dyn rand::RngCore) -> (Vec<usize>, f32) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(self.emb.clone());
+        let out = self.placer.forward(&mut tape, params, x, None, rng);
+        let logp = tape.value(out.log_prob).item();
+        (out.actions, logp)
+    }
+
+    fn score(&self, params: &Params, actions: &[usize]) -> ScoreHandle {
+        use rand::SeedableRng;
+        let mut noop = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let x = tape.leaf(self.emb.clone());
+        let out = self.placer.forward(&mut tape, params, x, Some(actions), &mut noop);
+        ScoreHandle { tape, log_prob: out.log_prob, entropy: out.entropy, aux_loss: None }
+    }
+}
+
+impl PlacementAgent for FixedGroupAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decode(&self, _params: &Params, actions: &[usize]) -> Placement {
+        assert_eq!(actions.len(), self.num_groups, "one device per group");
+        let group_devices: Vec<DeviceId> =
+            actions.iter().map(|&a| self.devices[a]).collect();
+        Placement::from_groups(&self.group_of, &group_devices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagle_opgraph::builders;
+    use eagle_partition::{metis_like::MetisLike, Partitioner};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph() -> OpGraph {
+        builders::gnmt(&builders::GnmtConfig {
+            batch: 2,
+            hidden: 4,
+            layers: 2,
+            seq_len: 3,
+            vocab: 20,
+        })
+    }
+
+    fn build(kind: PlacerKind) -> (Params, FixedGroupAgent, OpGraph, Machine) {
+        let g = graph();
+        let m = Machine::paper_machine();
+        let k = 6;
+        let group_of = MetisLike::default().partition(&g, k);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let agent = FixedGroupAgent::new(
+            &mut params,
+            "t",
+            &g,
+            &m,
+            group_of,
+            k,
+            kind,
+            AgentScale::tiny(),
+            &mut rng,
+        );
+        (params, agent, g, m)
+    }
+
+    #[test]
+    fn all_placer_kinds_sample_and_decode() {
+        for kind in [
+            PlacerKind::Seq2SeqBefore,
+            PlacerKind::Seq2SeqAfter,
+            PlacerKind::Gcn,
+            PlacerKind::Simple,
+        ] {
+            let (params, agent, g, m) = build(kind);
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let (actions, logp) = agent.sample(&params, &mut rng);
+            assert_eq!(actions.len(), agent.num_groups(), "{kind:?}");
+            assert!(logp.is_finite(), "{kind:?}");
+            let p = agent.decode(&params, &actions);
+            assert!(p.validate(&g, &m).is_ok(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn score_consistency_across_kinds() {
+        for kind in [PlacerKind::Seq2SeqBefore, PlacerKind::Gcn, PlacerKind::Simple] {
+            let (params, agent, _, _) = build(kind);
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let (actions, logp) = agent.sample(&params, &mut rng);
+            let h = agent.score(&params, &actions);
+            let rescored = h.tape.value(h.log_prob).item();
+            assert!((logp - rescored).abs() < 1e-3, "{kind:?}: {logp} vs {rescored}");
+        }
+    }
+
+    #[test]
+    fn post_constructor_names_and_places() {
+        let g = graph();
+        let m = Machine::paper_machine();
+        let k = 4;
+        let group_of = MetisLike::default().partition(&g, k);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let post =
+            FixedGroupAgent::post(&mut params, &g, &m, group_of, k, AgentScale::tiny(), &mut rng);
+        assert_eq!(post.name(), "Post");
+        let mut rng2 = ChaCha8Rng::seed_from_u64(8);
+        let (actions, _) = post.sample(&params, &mut rng2);
+        assert_eq!(actions.len(), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "one group per op")]
+    fn wrong_group_len_panics() {
+        let g = graph();
+        let m = Machine::paper_machine();
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = FixedGroupAgent::new(
+            &mut params,
+            "bad",
+            &g,
+            &m,
+            vec![0; 3],
+            4,
+            PlacerKind::Simple,
+            AgentScale::tiny(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Placement agents: EAGLE and the paper's learned baselines.
+
+mod eagle;
+mod fixed_group;
+mod hierarchical_planner;
+
+pub use eagle::EagleAgent;
+pub use fixed_group::{FixedGroupAgent, PlacerKind};
+pub use hierarchical_planner::HpAgent;
+
+use eagle_devsim::{DeviceId, Machine, Placement};
+use eagle_rl::StochasticPolicy;
+use eagle_tensor::{Params, Tensor};
+
+/// A policy whose actions decode into a device placement for a concrete graph.
+pub trait PlacementAgent: StochasticPolicy {
+    /// Display name for tables and curves.
+    fn name(&self) -> &str;
+
+    /// Decodes a sampled action vector into a full per-op placement, using the
+    /// current parameters (the grouping of hierarchical agents depends on them).
+    fn decode(&self, params: &Params, actions: &[usize]) -> Placement;
+}
+
+/// The action-index -> device mapping shared by all agents: action `a` selects
+/// machine device `a` (CPU first, then GPUs).
+pub(crate) fn device_table(machine: &Machine) -> Vec<DeviceId> {
+    machine.device_ids().collect()
+}
+
+/// Converts the per-op feature rows from `eagle_opgraph::features` into a tensor.
+pub(crate) fn features_tensor(graph: &eagle_opgraph::OpGraph) -> Tensor {
+    let rows = eagle_opgraph::features::node_features(graph);
+    let n = rows.len();
+    let dim = eagle_opgraph::features::FEATURE_DIM;
+    let mut data = Vec::with_capacity(n * dim);
+    for row in rows {
+        debug_assert_eq!(row.len(), dim);
+        data.extend_from_slice(&row);
+    }
+    Tensor::from_vec(n, dim, data)
+}

@@ -1,0 +1,96 @@
+//! Checkpointing: persist and restore agent parameters and training curves.
+//!
+//! Training against real hardware costs hours (the paper's setting), so being able
+//! to stop and resume an agent — or to re-evaluate a trained placement later — is
+//! table stakes for a usable system.
+
+use std::io;
+use std::path::Path;
+
+use eagle_tensor::Params;
+
+use crate::curve::Curve;
+
+/// Serializes a parameter store to JSON at `path`.
+pub fn save_params(params: &Params, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string(params).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Restores a parameter store saved by [`save_params`].
+pub fn load_params(path: impl AsRef<Path>) -> io::Result<Params> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+/// Serializes a training curve to JSON at `path`.
+pub fn save_curve(curve: &Curve, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string(curve).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Restores a curve saved by [`save_curve`].
+pub fn load_curve(path: impl AsRef<Path>) -> io::Result<Curve> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::{EagleAgent, PlacementAgent};
+    use crate::scale::AgentScale;
+    use eagle_devsim::{Benchmark, Machine};
+    use eagle_rl::StochasticPolicy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("eagle-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn params_roundtrip_preserves_agent_behaviour() {
+        let machine = Machine::paper_machine();
+        let graph = Benchmark::InceptionV3.graph_for(&machine);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+
+        let path = tmp("params.json");
+        save_params(&params, &path).unwrap();
+        let restored = load_params(&path).unwrap();
+        assert_eq!(restored.len(), params.len());
+        assert_eq!(restored.num_scalars(), params.num_scalars());
+
+        // Identical sampling behaviour with identical RNG streams.
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        let (a1, lp1) = agent.sample(&params, &mut r1);
+        let (a2, lp2) = agent.sample(&restored, &mut r2);
+        assert_eq!(a1, a2);
+        assert_eq!(lp1, lp2);
+        // And identical decoded placements.
+        assert_eq!(agent.decode(&params, &a1), agent.decode(&restored, &a2));
+    }
+
+    #[test]
+    fn curve_roundtrip() {
+        let mut curve = Curve::new("roundtrip");
+        curve.push(1, 10.0, Some(2.0));
+        curve.push(2, 20.0, None);
+        let path = tmp("curve.json");
+        save_curve(&curve, &path).unwrap();
+        let restored = load_curve(&path).unwrap();
+        assert_eq!(restored.label, "roundtrip");
+        assert_eq!(restored.points, curve.points);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_params(tmp("nope.json")).is_err());
+        assert!(load_curve(tmp("nope2.json")).is_err());
+    }
+}

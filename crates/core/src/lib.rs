@@ -1,0 +1,36 @@
+//! # eagle-core
+//!
+//! The paper's primary contribution: the EAGLE device-placement agent
+//! ([`EagleAgent`]: feed-forward grouper + linking RNN + attention-before seq2seq
+//! placer, trained end-to-end with PPO), together with the learned baselines it is
+//! evaluated against ([`HpAgent`] — Hierarchical Planner, [`FixedGroupAgent`] —
+//! heuristic-grouper variants and the Post baseline) and the training driver
+//! ([`train`]) that reproduces the paper's measurement protocol and training curves.
+//!
+//! ```no_run
+//! use eagle_core::{train, Algo, EagleAgent, AgentScale, TrainerConfig};
+//! use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+//! use rand::SeedableRng;
+//!
+//! let machine = Machine::paper_machine();
+//! let graph = Benchmark::InceptionV3.graph_for(&machine);
+//! let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 1);
+//! let mut params = eagle_tensor::Params::new();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::quick(), &mut rng);
+//! let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 500));
+//! println!("best per-step time: {:?}", result.final_step_time);
+//! ```
+
+#![warn(missing_docs)]
+
+mod agents;
+pub mod checkpoint;
+mod curve;
+mod scale;
+mod trainer;
+
+pub use agents::{EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent, PlacerKind};
+pub use curve::{Curve, CurvePoint};
+pub use scale::AgentScale;
+pub use trainer::{train, Algo, TrainResult, TrainerConfig};

@@ -1,0 +1,97 @@
+//! Agent sizing presets.
+//!
+//! The paper's hyper-parameters (Sec. IV-C) are expensive on a laptop-class CPU, so
+//! every experiment binary accepts a scale: [`AgentScale::paper`] reproduces the
+//! paper exactly, [`AgentScale::quick`] shrinks the networks and group count so a
+//! full table reproduces in minutes, and [`AgentScale::tiny`] is for unit tests.
+//! The comparative *shape* of results must hold at every scale.
+
+/// Network and grouping sizes for one agent build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentScale {
+    /// Number of groups `k` the grouper produces (paper: 256).
+    pub num_groups: usize,
+    /// Hidden width of the grouper MLP (paper: 64, two layers).
+    pub grouper_hidden: usize,
+    /// LSTM hidden size of the seq2seq placer (paper: 512).
+    pub placer_hidden: usize,
+    /// Attention projection size.
+    pub attn_dim: usize,
+    /// Hidden size of EAGLE's linking RNN.
+    pub link_hidden: usize,
+    /// Hidden width of Post's simple placer and the GCN placer.
+    pub simple_hidden: usize,
+}
+
+impl AgentScale {
+    /// The paper's configuration (Sec. IV-C).
+    pub fn paper() -> Self {
+        Self {
+            num_groups: 256,
+            grouper_hidden: 64,
+            placer_hidden: 512,
+            attn_dim: 64,
+            link_hidden: 64,
+            simple_hidden: 64,
+        }
+    }
+
+    /// Minutes-scale configuration for reproducing table shapes quickly.
+    pub fn quick() -> Self {
+        Self {
+            num_groups: 32,
+            grouper_hidden: 32,
+            placer_hidden: 48,
+            attn_dim: 24,
+            link_hidden: 32,
+            simple_hidden: 32,
+        }
+    }
+
+    /// Seconds-scale configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_groups: 6,
+            grouper_hidden: 12,
+            placer_hidden: 12,
+            attn_dim: 8,
+            link_hidden: 10,
+            simple_hidden: 12,
+        }
+    }
+
+    /// Parses `"paper"` / `"quick"` / `"tiny"`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Self::paper()),
+            "quick" => Some(Self::quick()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let p = AgentScale::paper();
+        let q = AgentScale::quick();
+        let t = AgentScale::tiny();
+        assert!(p.num_groups > q.num_groups && q.num_groups > t.num_groups);
+        assert!(p.placer_hidden > q.placer_hidden && q.placer_hidden > t.placer_hidden);
+        assert_eq!(p.num_groups, 256, "paper uses 256 groups");
+        assert_eq!(p.placer_hidden, 512, "paper uses 512 LSTM units");
+        assert_eq!(p.grouper_hidden, 64, "paper uses 64 grouper units");
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        assert_eq!(AgentScale::from_name("paper"), Some(AgentScale::paper()));
+        assert_eq!(AgentScale::from_name("quick"), Some(AgentScale::quick()));
+        assert_eq!(AgentScale::from_name("tiny"), Some(AgentScale::tiny()));
+        assert_eq!(AgentScale::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! The training driver: samples placements from an agent, measures them in the
+//! environment, shapes rewards, and applies the selected RL algorithm — the outer
+//! loop of every experiment in the paper.
+
+use eagle_devsim::{Environment, Placement};
+use eagle_rl::{
+    top_k_indices, CrossEntropyMin, EmaBaseline, OptimConfig, Ppo, Reinforce, RewardTransform,
+    TrainSample,
+};
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::agents::PlacementAgent;
+use crate::curve::Curve;
+
+/// Which training algorithm drives the agent (paper Sec. III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Plain REINFORCE with the EMA baseline.
+    Reinforce,
+    /// Clipped-surrogate PPO (the paper's pick for EAGLE).
+    Ppo,
+    /// PPO joined with cross-entropy minimization (Post's algorithm;
+    /// also `EAGLE (PPO+CE)` in Table IV).
+    PpoCe,
+}
+
+impl Algo {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Reinforce => "REINFORCE",
+            Algo::Ppo => "PPO",
+            Algo::PpoCe => "PPO+CE",
+        }
+    }
+}
+
+/// Trainer configuration (defaults = paper Sec. IV-C).
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Total placements to sample.
+    pub total_samples: usize,
+    /// Samples per policy update (paper: 10).
+    pub minibatch: usize,
+    /// Optimizer settings (paper: Adam lr 0.01, clip 1.0, entropy 0.01).
+    pub optim: OptimConfig,
+    /// PPO clip ratio (paper: 0.3).
+    pub ppo_clip: f32,
+    /// PPO epochs per minibatch (paper: 4).
+    pub ppo_epochs: usize,
+    /// Samples between cross-entropy updates (paper: 50).
+    pub ce_interval: usize,
+    /// Number of elite samples per CE update (paper: 5).
+    pub ce_elites: usize,
+    /// Gradient steps per CE update.
+    pub ce_steps: usize,
+    /// EMA weight for the reward baseline.
+    pub ema_alpha: f64,
+    /// Per-step time charged to invalid (OOM) placements when shaping rewards.
+    pub invalid_penalty_time: f64,
+    /// Reward transform applied to measured per-step times (paper: `-sqrt(t)`).
+    pub reward: RewardTransform,
+    /// Subtract the EMA baseline from rewards (paper: yes). Disable for ablation.
+    pub use_baseline: bool,
+    /// Normalize advantages to unit scale within each minibatch (standard PPO
+    /// practice; makes learning robust to the absolute reward scale, which spans
+    /// -sqrt(0.07) to -sqrt(100) across the three benchmarks).
+    pub normalize_adv: bool,
+    /// RNG seed (sampling).
+    pub seed: u64,
+    /// The algorithm.
+    pub algo: Algo,
+}
+
+impl TrainerConfig {
+    /// Paper hyper-parameters with the given sample budget and algorithm.
+    pub fn paper(algo: Algo, total_samples: usize) -> Self {
+        Self {
+            total_samples,
+            minibatch: 10,
+            optim: OptimConfig::default(),
+            ppo_clip: 0.3,
+            ppo_epochs: 4,
+            ce_interval: 50,
+            ce_elites: 5,
+            ce_steps: 4,
+            ema_alpha: 0.1,
+            invalid_penalty_time: 100.0,
+            reward: RewardTransform::NegSqrt,
+            use_baseline: true,
+            normalize_adv: true,
+            seed: 7,
+            algo,
+        }
+    }
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Best placement found (if any valid placement was sampled).
+    pub best_placement: Option<Placement>,
+    /// Per-step time of the best placement under the *final* measurement protocol
+    /// (1,000 steps), as the paper reports in its tables.
+    pub final_step_time: Option<f64>,
+    /// The training curve.
+    pub curve: Curve,
+    /// Number of invalid (OOM) samples encountered.
+    pub num_invalid: usize,
+    /// Total samples drawn.
+    pub samples: usize,
+}
+
+/// Runs the full training loop of `agent` against `env`.
+pub fn train(
+    agent: &impl PlacementAgent,
+    params: &mut Params,
+    env: &mut Environment,
+    cfg: &TrainerConfig,
+) -> TrainResult {
+    assert!(cfg.minibatch > 0, "minibatch must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut baseline = EmaBaseline::new(cfg.ema_alpha);
+    let mut curve = Curve::new(agent.name());
+
+    let mut reinforce = Reinforce::new(cfg.optim.clone());
+    let mut ppo = Ppo::new(cfg.optim.clone(), cfg.ppo_clip, cfg.ppo_epochs);
+    let mut ce = CrossEntropyMin::new(cfg.optim.clone(), cfg.ce_steps);
+
+    // Sample history for elite selection (actions + reward).
+    let mut history_actions: Vec<Vec<usize>> = Vec::new();
+    let mut history_rewards: Vec<f64> = Vec::new();
+    let mut since_ce = 0usize;
+
+    let mut best: Option<(f64, Placement)> = None;
+    let mut num_invalid = 0usize;
+    let mut samples = 0usize;
+
+    while samples < cfg.total_samples {
+        let batch_size = cfg.minibatch.min(cfg.total_samples - samples);
+        let mut batch: Vec<TrainSample> = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let (actions, old_log_prob) = agent.sample(params, &mut rng);
+            let placement = agent.decode(params, &actions);
+            let meas = env.evaluate(&placement);
+            samples += 1;
+            since_ce += 1;
+            let reward = match meas.step_time {
+                Some(t) => {
+                    if best.as_ref().map_or(true, |(b, _)| t < *b) {
+                        best = Some((t, placement.clone()));
+                    }
+                    cfg.reward.apply(t)
+                }
+                None => {
+                    num_invalid += 1;
+                    cfg.reward.apply(cfg.invalid_penalty_time)
+                }
+            };
+            curve.push(samples as u64, env.wall_clock(), meas.step_time);
+            let advantage = if cfg.use_baseline {
+                baseline.advantage(reward) as f32
+            } else {
+                reward as f32
+            };
+            history_actions.push(actions.clone());
+            history_rewards.push(reward);
+            batch.push(TrainSample { actions, old_log_prob, advantage });
+        }
+
+        if cfg.normalize_adv && batch.len() > 1 {
+            let mean =
+                batch.iter().map(|s| s.advantage).sum::<f32>() / batch.len() as f32;
+            let var = batch
+                .iter()
+                .map(|s| (s.advantage - mean).powi(2))
+                .sum::<f32>()
+                / batch.len() as f32;
+            let std = var.sqrt().max(1e-6);
+            for s in &mut batch {
+                s.advantage /= std;
+            }
+        }
+
+        match cfg.algo {
+            Algo::Reinforce => {
+                reinforce.update(agent, params, &batch);
+            }
+            Algo::Ppo => {
+                ppo.update(agent, params, &batch);
+            }
+            Algo::PpoCe => {
+                ppo.update(agent, params, &batch);
+                if since_ce >= cfg.ce_interval {
+                    since_ce = 0;
+                    let top = top_k_indices(&history_rewards, cfg.ce_elites);
+                    let elites: Vec<Vec<usize>> =
+                        top.iter().map(|&i| history_actions[i].clone()).collect();
+                    ce.update(agent, params, &elites);
+                }
+            }
+        }
+    }
+
+    // Final 1,000-step measurement of the best placement (paper protocol).
+    let (best_placement, final_step_time) = match best {
+        Some((_, p)) => {
+            let t = env.evaluate_final(&p);
+            (Some(p), t)
+        }
+        None => (None, None),
+    };
+
+    TrainResult { best_placement, final_step_time, curve, num_invalid, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::{EagleAgent, FixedGroupAgent, PlacerKind};
+    use crate::scale::AgentScale;
+    use eagle_devsim::{Machine, MeasureConfig};
+    use eagle_opgraph::builders;
+
+    fn tiny_env() -> (eagle_opgraph::OpGraph, Machine, Environment) {
+        let g = builders::gnmt(&builders::GnmtConfig {
+            batch: 2,
+            hidden: 4,
+            layers: 2,
+            seq_len: 3,
+            vocab: 20,
+        });
+        let m = Machine::paper_machine();
+        let env = Environment::new(g.clone(), m.clone(), MeasureConfig::exact(), 3);
+        (g, m, env)
+    }
+
+    #[test]
+    fn training_improves_over_first_samples() {
+        let (g, m, mut env) = tiny_env();
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, 120);
+        cfg.optim.lr = 0.05; // tiny nets: faster convergence for the test
+        let result = train(&agent, &mut params, &mut env, &cfg);
+        assert_eq!(result.samples, 120);
+        assert_eq!(result.curve.points.len(), 120);
+        let t = result.final_step_time.expect("found a valid placement");
+        // The first sampled placement is essentially random; training must do
+        // at least as well, and the curve's best must be monotone.
+        let first = result.curve.points[0].measured.unwrap_or(f64::INFINITY);
+        assert!(t <= first * 1.01, "final {t} should not be worse than first {first}");
+        let mut prev = f64::INFINITY;
+        for p in &result.curve.points {
+            if let Some(b) = p.best_so_far {
+                assert!(b <= prev + 1e-12);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        for algo in [Algo::Reinforce, Algo::Ppo, Algo::PpoCe] {
+            let (g, m, mut env) = tiny_env();
+            let mut params = Params::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let group_of: Vec<usize> = (0..g.len()).map(|i| i * 4 / g.len()).collect();
+            let agent = FixedGroupAgent::new(
+                &mut params,
+                "t",
+                &g,
+                &m,
+                group_of,
+                4,
+                PlacerKind::Simple,
+                AgentScale::tiny(),
+                &mut rng,
+            );
+            let mut cfg = TrainerConfig::paper(algo, 60);
+            cfg.ce_interval = 20;
+            let result = train(&agent, &mut params, &mut env, &cfg);
+            assert_eq!(result.samples, 60, "{algo:?}");
+            assert!(result.final_step_time.is_some(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_monotone_in_curve() {
+        let (g, m, mut env) = tiny_env();
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+        let cfg = TrainerConfig::paper(Algo::Ppo, 30);
+        let result = train(&agent, &mut params, &mut env, &cfg);
+        let mut prev = 0.0;
+        for p in &result.curve.points {
+            assert!(p.wall_clock >= prev);
+            prev = p.wall_clock;
+        }
+    }
+
+    #[test]
+    fn algo_labels() {
+        assert_eq!(Algo::Reinforce.label(), "REINFORCE");
+        assert_eq!(Algo::Ppo.label(), "PPO");
+        assert_eq!(Algo::PpoCe.label(), "PPO+CE");
+    }
+}

@@ -1,0 +1,226 @@
+//! Device and machine models.
+//!
+//! The paper's environment is one physical machine with 4 NVIDIA P100 GPUs and
+//! 2 Xeon E5-2650v4 CPUs (treated as a single CPU device, as TensorFlow does for
+//! placement purposes) connected over PCIe. [`Machine::paper_machine`] reproduces it.
+
+use eagle_opgraph::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Processor class of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Host CPU (large memory, low throughput, cheap op dispatch).
+    Cpu,
+    /// Discrete GPU (high throughput, limited memory, kernel-launch overhead).
+    Gpu,
+}
+
+/// One placement-visible device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Display name (`"/gpu:0"`, mirroring TF device strings).
+    pub name: String,
+    /// Processor class.
+    pub kind: DeviceKind,
+    /// Peak throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Fixed per-op dispatch cost in seconds (kernel launch on GPUs). At batch
+    /// size 1 this dominates Inception-V3's step time, which is why every
+    /// placement approach in the paper converges to "one GPU" for it.
+    pub launch_overhead: f64,
+}
+
+/// A machine: a set of devices and the interconnect between them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// Devices, indexed by [`DeviceId`].
+    pub devices: Vec<DeviceSpec>,
+    /// Effective point-to-point bandwidth in bytes/s (PCIe gen3 x16 ≈ 12 GB/s).
+    pub link_bandwidth: f64,
+    /// Per-transfer fixed latency in seconds.
+    pub transfer_latency: f64,
+}
+
+/// Index of a device within a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u8);
+
+impl DeviceId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Machine {
+    /// The paper's evaluation machine: 4x P100 (16 GB) + host CPU (125 GB RAM).
+    pub fn paper_machine() -> Self {
+        let gib = 1u64 << 30;
+        let mut devices = vec![DeviceSpec {
+            name: "/cpu:0".into(),
+            kind: DeviceKind::Cpu,
+            peak_flops: 0.6e12,
+            mem_bytes: 125 * gib,
+            launch_overhead: 10e-6,
+        }];
+        for i in 0..4 {
+            devices.push(DeviceSpec {
+                name: format!("/gpu:{i}"),
+                kind: DeviceKind::Gpu,
+                peak_flops: 9.3e12,
+                mem_bytes: 16 * gib,
+                launch_overhead: 30e-6,
+            });
+        }
+        // The latency covers TF's send/recv rendezvous per cross-device edge; it is
+        // what makes scattering tiny ops across devices unprofitable (and why every
+        // approach converges to one GPU for batch-1 Inception-V3).
+        Self { devices, link_bandwidth: 12e9, transfer_latency: 250e-6 }
+    }
+
+    /// A reduced two-GPU machine for tests and quick experiments.
+    pub fn small_machine() -> Self {
+        let mut m = Self::paper_machine();
+        m.devices.truncate(3);
+        m
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device ids in order (CPU first, then GPUs).
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len() as u8).map(DeviceId)
+    }
+
+    /// Ids of GPU devices.
+    pub fn gpu_ids(&self) -> Vec<DeviceId> {
+        self.device_ids()
+            .filter(|d| self.devices[d.index()].kind == DeviceKind::Gpu)
+            .collect()
+    }
+
+    /// The CPU device id.
+    pub fn cpu_id(&self) -> DeviceId {
+        self.device_ids()
+            .find(|d| self.devices[d.index()].kind == DeviceKind::Cpu)
+            .expect("machine has a CPU")
+    }
+
+    /// Execution time of `flops` of op kind `kind` on device `dev`, including the
+    /// per-op dispatch overhead.
+    pub fn exec_time(&self, kind: OpKind, flops: f64, dev: DeviceId) -> f64 {
+        let spec = &self.devices[dev.index()];
+        let eff = efficiency(kind, spec.kind);
+        spec.launch_overhead + flops / (spec.peak_flops * eff)
+    }
+
+    /// Time to move `bytes` across the interconnect (same-device moves are free).
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.transfer_latency + bytes as f64 / self.link_bandwidth
+    }
+}
+
+/// Fraction of a device's peak FLOP/s an op kind actually achieves.
+///
+/// The table captures the placement-relevant asymmetries: dense kernels come close to
+/// GPU peak, bandwidth-bound elementwise ops do not, and a handful of kinds
+/// (input pipeline, embedding gathers) run *better* on the CPU — the paper observes
+/// RL agents discover exactly this ("some operations are actually running faster on
+/// the CPU devices", Sec. IV-D).
+pub fn efficiency(kind: OpKind, dev: DeviceKind) -> f64 {
+    use OpKind::*;
+    match (kind, dev) {
+        (Conv2d, DeviceKind::Gpu) => 0.45,
+        (Conv2d, DeviceKind::Cpu) => 0.04,
+        (MatMul, DeviceKind::Gpu) => 0.50,
+        (MatMul, DeviceKind::Cpu) => 0.08,
+        (LstmCell, DeviceKind::Gpu) => 0.35,
+        (LstmCell, DeviceKind::Cpu) => 0.06,
+        (Attention, DeviceKind::Gpu) => 0.35,
+        (Attention, DeviceKind::Cpu) => 0.06,
+        (Softmax, DeviceKind::Gpu) => 0.15,
+        (Softmax, DeviceKind::Cpu) => 0.04,
+        (Embedding, DeviceKind::Gpu) => 0.02,
+        (Embedding, DeviceKind::Cpu) => 0.10,
+        (Input, DeviceKind::Gpu) => 0.002,
+        (Input, DeviceKind::Cpu) => 0.20,
+        (BatchNorm | LayerNorm | Activation | Elementwise | Reduce | Loss, DeviceKind::Gpu) => {
+            0.05
+        }
+        (BatchNorm | LayerNorm | Activation | Elementwise | Reduce | Loss, DeviceKind::Cpu) => {
+            0.02
+        }
+        (Pool, DeviceKind::Gpu) => 0.10,
+        (Pool, DeviceKind::Cpu) => 0.03,
+        (GradAccum | ApplyUpdate, DeviceKind::Gpu) => 0.05,
+        (GradAccum | ApplyUpdate, DeviceKind::Cpu) => 0.02,
+        // Shape-only / metadata ops are effectively free compute.
+        (Reshape | Concat | Split | Const | Variable, _) => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let m = Machine::paper_machine();
+        assert_eq!(m.num_devices(), 5);
+        assert_eq!(m.gpu_ids().len(), 4);
+        assert_eq!(m.cpu_id(), DeviceId(0));
+        assert_eq!(m.devices[m.cpu_id().index()].kind, DeviceKind::Cpu);
+    }
+
+    #[test]
+    fn dense_ops_prefer_gpu_input_prefers_cpu() {
+        let m = Machine::paper_machine();
+        let gpu = m.gpu_ids()[0];
+        let cpu = m.cpu_id();
+        let f = 1e9;
+        assert!(m.exec_time(OpKind::Conv2d, f, gpu) < m.exec_time(OpKind::Conv2d, f, cpu));
+        assert!(m.exec_time(OpKind::MatMul, f, gpu) < m.exec_time(OpKind::MatMul, f, cpu));
+        let fi = 1e6;
+        assert!(m.exec_time(OpKind::Input, fi, cpu) < m.exec_time(OpKind::Input, fi, gpu));
+        assert!(
+            m.exec_time(OpKind::Embedding, fi, cpu) < m.exec_time(OpKind::Embedding, fi, gpu)
+        );
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_ops() {
+        let m = Machine::paper_machine();
+        let gpu = m.gpu_ids()[0];
+        assert!(m.exec_time(OpKind::Elementwise, 0.0, gpu) >= 30e-6);
+        assert!(m.exec_time(OpKind::Elementwise, 0.0, m.cpu_id()) >= 10e-6);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = Machine::paper_machine();
+        let t1 = m.transfer_time(1 << 20);
+        let t2 = m.transfer_time(1 << 26);
+        assert!(t2 > t1);
+        assert!((m.transfer_time(0) - m.transfer_latency).abs() < 1e-12);
+        // 12 MB at 12 GB/s = 1 ms + latency.
+        assert!((m.transfer_time(12_000_000) - (250e-6 + 1e-3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_table_total() {
+        // Every (kind, device) combination must be positive and at most 1.
+        for &k in eagle_opgraph::ALL_OP_KINDS.iter() {
+            for d in [DeviceKind::Cpu, DeviceKind::Gpu] {
+                let e = efficiency(k, d);
+                assert!(e > 0.0 && e <= 1.0, "{k:?} on {d:?}: {e}");
+            }
+        }
+    }
+}

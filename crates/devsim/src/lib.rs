@@ -1,0 +1,36 @@
+//! # eagle-devsim
+//!
+//! Discrete-event simulator of the paper's evaluation machine (4x P100 + CPU) and
+//! the placement-measurement protocol built on top of it.
+//!
+//! The paper measures each sampled placement by running the real model for 15 steps
+//! on physical hardware; this crate substitutes a simulator that produces the same
+//! signal — per-step time, or OOM for invalid placements — from the op graph's
+//! FLOPs, tensor sizes and memory footprints (see DESIGN.md for the substitution
+//! argument).
+//!
+//! * [`Machine`] / [`DeviceSpec`] — the device model.
+//! * [`Placement`] — one device per op.
+//! * [`simulate`] — event-driven list scheduling of one training step.
+//! * [`Environment`] — the 15-step measurement protocol with noise and a simulated
+//!   wall-clock (the x-axis of the paper's training-curve figures).
+//! * [`predefined`] — Single-GPU and Human-Expert baseline placements.
+//! * [`search`] — random / hill-climb / annealing oracles over the landscape.
+//! * [`Benchmark`] — calibrated Inception-V3 / GNMT / BERT instances.
+
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod device;
+mod env;
+mod placement;
+pub mod predefined;
+pub mod search;
+mod sim;
+pub mod trace;
+
+pub use benchmarks::{calibrate, Benchmark, PaperNumbers};
+pub use device::{efficiency, DeviceId, DeviceKind, DeviceSpec, Machine};
+pub use env::{Environment, MeasureConfig, Measurement};
+pub use placement::Placement;
+pub use sim::{simulate, SimOutcome, StepStats};

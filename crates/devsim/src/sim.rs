@@ -1,0 +1,318 @@
+//! Discrete-event simulation of one training step under a placement.
+//!
+//! The simulator performs event-driven list scheduling of the op DAG over the
+//! machine's devices: each device executes one op at a time in ready-time order, and
+//! every cross-device edge pays a transfer serialized on its directed link. The
+//! resulting makespan is the per-step time — the quantity the paper measures on real
+//! hardware and feeds to the RL agent as (negated, square-rooted) reward.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use eagle_opgraph::{OpGraph, OpId};
+
+use crate::device::{DeviceId, Machine};
+use crate::placement::Placement;
+
+/// Result of simulating one training step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOutcome {
+    /// The placement fits and the step completes.
+    Valid(StepStats),
+    /// A device's memory capacity is exceeded — the run would crash with OOM,
+    /// which the paper treats as an invalid placement.
+    Oom {
+        /// The overflowing device.
+        device: DeviceId,
+        /// Bytes the placement tries to keep resident there.
+        required: u64,
+        /// The device's capacity.
+        capacity: u64,
+    },
+}
+
+impl SimOutcome {
+    /// Step time if valid.
+    pub fn step_time(&self) -> Option<f64> {
+        match self {
+            SimOutcome::Valid(s) => Some(s.step_time),
+            SimOutcome::Oom { .. } => None,
+        }
+    }
+}
+
+/// Timing breakdown of a simulated step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStats {
+    /// Makespan of the step in seconds.
+    pub step_time: f64,
+    /// Per-device busy time (compute only).
+    pub device_busy: Vec<f64>,
+    /// Total time spent in cross-device transfers (sum over links).
+    pub comm_time: f64,
+    /// Number of cross-device transfers.
+    pub num_transfers: usize,
+}
+
+/// f64 ordered by `total_cmp` for use in the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Simulates one training step of `graph` on `machine` under `placement`.
+///
+/// # Panics
+/// Panics if the placement fails [`Placement::validate`] (programming error rather
+/// than an agent decision — agents only choose among existing devices).
+pub fn simulate(graph: &OpGraph, machine: &Machine, placement: &Placement) -> SimOutcome {
+    placement.validate(graph, machine).expect("placement matches graph and machine");
+
+    // Memory feasibility first: resident bytes per device must fit.
+    let mem = placement.memory_per_device(graph, machine);
+    for (i, (&used, spec)) in mem.iter().zip(&machine.devices).enumerate() {
+        if used > spec.mem_bytes {
+            return SimOutcome::Oom {
+                device: DeviceId(i as u8),
+                required: used,
+                capacity: spec.mem_bytes,
+            };
+        }
+    }
+
+    let n = graph.len();
+    let mut in_remaining: Vec<u32> = (0..n).map(|i| graph.preds(OpId(i as u32)).len() as u32).collect();
+    // Latest data-arrival time at each op (over all incoming edges incl. transfers).
+    let mut arrival = vec![0.0f64; n];
+    let mut dev_free = vec![0.0f64; machine.num_devices()];
+    // Directed link availability, dense (num_devices is tiny).
+    let nd = machine.num_devices();
+    let mut link_free = vec![0.0f64; nd * nd];
+    let mut device_busy = vec![0.0f64; nd];
+    let mut comm_time = 0.0f64;
+    let mut num_transfers = 0usize;
+    let mut makespan = 0.0f64;
+
+    let mut ready: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    for i in 0..n {
+        if in_remaining[i] == 0 {
+            ready.push(Reverse((Time(0.0), i as u32)));
+        }
+    }
+
+    let mut scheduled = 0usize;
+    while let Some(Reverse((Time(rt), idx))) = ready.pop() {
+        let id = OpId(idx);
+        let node = graph.node(id);
+        let dev = placement.device(id);
+        let exec = machine.exec_time(node.kind, node.flops, dev);
+        let start = rt.max(dev_free[dev.index()]);
+        let finish = start + exec;
+        dev_free[dev.index()] = finish;
+        device_busy[dev.index()] += exec;
+        makespan = makespan.max(finish);
+        scheduled += 1;
+
+        for &succ in graph.succs(id) {
+            let sdev = placement.device(succ);
+            let data_at = if sdev == dev {
+                finish
+            } else {
+                let link = &mut link_free[dev.index() * nd + sdev.index()];
+                let t_start = finish.max(*link);
+                let t = machine.transfer_time(node.out_bytes);
+                *link = t_start + t;
+                comm_time += t;
+                num_transfers += 1;
+                t_start + t
+            };
+            let s = succ.index();
+            arrival[s] = arrival[s].max(data_at);
+            in_remaining[s] -= 1;
+            if in_remaining[s] == 0 {
+                ready.push(Reverse((Time(arrival[s]), succ.0)));
+            }
+        }
+    }
+    assert_eq!(scheduled, n, "all ops schedule exactly once (graph is a DAG)");
+
+    SimOutcome::Valid(StepStats { step_time: makespan, device_busy, comm_time, num_transfers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagle_opgraph::{OpKind, OpNode, Phase};
+
+    /// chain: a -> b -> c, all MatMul with the given flops.
+    fn chain(flops: f64, out_bytes: u64) -> OpGraph {
+        let mut g = OpGraph::new("chain");
+        let mut prev: Option<OpId> = None;
+        for i in 0..3 {
+            let id = g.add_node(
+                OpNode::new(format!("op{i}"), OpKind::MatMul, Phase::Forward)
+                    .with_flops(flops)
+                    .with_out_bytes(out_bytes),
+            );
+            if let Some(p) = prev {
+                g.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        g
+    }
+
+    /// fork-join: a -> {b, c} -> d.
+    fn diamond(flops: f64) -> OpGraph {
+        let mut g = OpGraph::new("diamond");
+        let mk = |g: &mut OpGraph, n: &str| {
+            g.add_node(
+                OpNode::new(n, OpKind::MatMul, Phase::Forward)
+                    .with_flops(flops)
+                    .with_out_bytes(1024),
+            )
+        };
+        let a = mk(&mut g, "a");
+        let b = mk(&mut g, "b");
+        let c = mk(&mut g, "c");
+        let d = mk(&mut g, "d");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn serial_chain_time_adds_up() {
+        let g = chain(4.65e9, 0); // 1 ms each on a P100 at eff 0.5
+        let m = Machine::paper_machine();
+        let gpu = m.gpu_ids()[0];
+        let out = simulate(&g, &m, &Placement::uniform(3, gpu));
+        let t = out.step_time().unwrap();
+        let expected = 3.0 * (30e-6 + 1e-3);
+        assert!((t - expected).abs() < 1e-9, "t = {t}, expected {expected}");
+    }
+
+    #[test]
+    fn parallel_branches_overlap_across_gpus() {
+        let g = diamond(4.65e9);
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        // b and c on different GPUs overlap; same GPU serializes them.
+        let same = simulate(
+            &g,
+            &m,
+            &Placement::new(vec![gpus[0], gpus[0], gpus[0], gpus[0]]),
+        )
+        .step_time()
+        .unwrap();
+        let split = simulate(
+            &g,
+            &m,
+            &Placement::new(vec![gpus[0], gpus[0], gpus[1], gpus[0]]),
+        )
+        .step_time()
+        .unwrap();
+        assert!(split < same, "parallel {split} should beat serial {same}");
+    }
+
+    #[test]
+    fn heavy_transfers_penalize_splitting() {
+        // Tiny compute, huge tensors: splitting a chain across devices must lose.
+        let g = chain(1e6, 200 << 20);
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        let together = simulate(&g, &m, &Placement::uniform(3, gpus[0])).step_time().unwrap();
+        let apart = simulate(
+            &g,
+            &m,
+            &Placement::new(vec![gpus[0], gpus[1], gpus[2]]),
+        )
+        .step_time()
+        .unwrap();
+        assert!(apart > together * 5.0, "apart {apart} vs together {together}");
+    }
+
+    #[test]
+    fn oom_detected() {
+        let mut g = chain(1e6, 0);
+        g.node_mut(OpId(0)).act_bytes = 20 << 30; // 20 GiB on a 16 GiB GPU
+        let m = Machine::paper_machine();
+        let gpu = m.gpu_ids()[0];
+        match simulate(&g, &m, &Placement::uniform(3, gpu)) {
+            SimOutcome::Oom { device, required, capacity } => {
+                assert_eq!(device, gpu);
+                assert!(required > capacity);
+            }
+            SimOutcome::Valid(_) => panic!("expected OOM"),
+        }
+        // The CPU (125 GiB) can hold it.
+        assert!(simulate(&g, &m, &Placement::uniform(3, m.cpu_id())).step_time().is_some());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = diamond(4.65e9);
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        let p = Placement::new(vec![gpus[0], gpus[0], gpus[1], gpus[0]]);
+        match simulate(&g, &m, &p) {
+            SimOutcome::Valid(s) => {
+                assert_eq!(s.num_transfers, 2); // a->c and c->d cross devices
+                assert!(s.comm_time > 0.0);
+                assert!(s.device_busy[gpus[0].index()] > 0.0);
+                assert!(s.device_busy[gpus[1].index()] > 0.0);
+                assert!(s.device_busy[m.cpu_id().index()] == 0.0);
+                assert!(s.step_time >= s.device_busy.iter().cloned().fold(0.0, f64::max));
+            }
+            _ => panic!("valid expected"),
+        }
+    }
+
+    #[test]
+    fn link_serialization_orders_transfers() {
+        // Two producers on gpu0 both send to gpu1: second transfer waits for first.
+        let mut g = OpGraph::new("two_senders");
+        let mk = |g: &mut OpGraph, n: &str, bytes: u64| {
+            g.add_node(
+                OpNode::new(n, OpKind::MatMul, Phase::Forward)
+                    .with_flops(0.0)
+                    .with_out_bytes(bytes),
+            )
+        };
+        let a = mk(&mut g, "a", 120 << 20);
+        let b = mk(&mut g, "b", 120 << 20);
+        let c = mk(&mut g, "c", 0);
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        let p = Placement::new(vec![gpus[0], gpus[0], gpus[1]]);
+        let t = simulate(&g, &m, &p).step_time().unwrap();
+        let one_transfer = m.transfer_time(120 << 20);
+        // Both transfers share the gpu0->gpu1 link, so the step takes at least twice
+        // a single transfer.
+        assert!(t > 2.0 * one_transfer, "t = {t}, single transfer = {one_transfer}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = diamond(1e9);
+        let m = Machine::paper_machine();
+        let p = Placement::uniform(4, m.gpu_ids()[0]);
+        let a = simulate(&g, &m, &p).step_time().unwrap();
+        let b = simulate(&g, &m, &p).step_time().unwrap();
+        assert_eq!(a, b);
+    }
+}

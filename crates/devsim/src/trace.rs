@@ -1,0 +1,245 @@
+//! Schedule tracing: per-op start/finish records and Chrome-trace export.
+//!
+//! `chrome://tracing` (or Perfetto) can load the exported JSON to visualize how a
+//! placement executes — which device runs what when, and where transfers serialize —
+//! the debugging view one needs when a "good-looking" placement simulates slow.
+
+use eagle_opgraph::{OpGraph, OpId};
+use serde::Serialize;
+
+use crate::device::Machine;
+use crate::placement::Placement;
+use crate::sim::{simulate, SimOutcome};
+
+/// One scheduled op in a simulated step.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduledOp {
+    /// The op.
+    pub op: u32,
+    /// Op name.
+    pub name: String,
+    /// Device index the op ran on.
+    pub device: u8,
+    /// Start time in seconds from step begin.
+    pub start: f64,
+    /// Finish time in seconds.
+    pub finish: f64,
+}
+
+/// A full step schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct StepTrace {
+    /// Makespan in seconds.
+    pub step_time: f64,
+    /// Per-op schedule, in execution order.
+    pub ops: Vec<ScheduledOp>,
+}
+
+/// Simulates one step and reconstructs the schedule. The reconstruction re-runs the
+/// same event-driven list scheduling as [`simulate`], so `step_time` matches it
+/// exactly (asserted in tests).
+pub fn trace(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Option<StepTrace> {
+    // Memory feasibility gate identical to `simulate`.
+    let expect = match simulate(graph, machine, placement) {
+        SimOutcome::Valid(s) => s.step_time,
+        SimOutcome::Oom { .. } => return None,
+    };
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct T(f64);
+    impl Eq for T {}
+    impl PartialOrd for T {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for T {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&o.0)
+        }
+    }
+
+    let n = graph.len();
+    let nd = machine.num_devices();
+    let mut in_remaining: Vec<u32> =
+        (0..n).map(|i| graph.preds(OpId(i as u32)).len() as u32).collect();
+    let mut arrival = vec![0.0f64; n];
+    let mut dev_free = vec![0.0f64; nd];
+    let mut link_free = vec![0.0f64; nd * nd];
+    let mut ready: BinaryHeap<Reverse<(T, u32)>> = BinaryHeap::new();
+    for i in 0..n {
+        if in_remaining[i] == 0 {
+            ready.push(Reverse((T(0.0), i as u32)));
+        }
+    }
+    let mut ops = Vec::with_capacity(n);
+    let mut makespan = 0.0f64;
+    while let Some(Reverse((T(rt), idx))) = ready.pop() {
+        let id = OpId(idx);
+        let node = graph.node(id);
+        let dev = placement.device(id);
+        let exec = machine.exec_time(node.kind, node.flops, dev);
+        let start = rt.max(dev_free[dev.index()]);
+        let finish = start + exec;
+        dev_free[dev.index()] = finish;
+        makespan = makespan.max(finish);
+        ops.push(ScheduledOp {
+            op: idx,
+            name: node.name.clone(),
+            device: dev.0,
+            start,
+            finish,
+        });
+        for &succ in graph.succs(id) {
+            let sdev = placement.device(succ);
+            let data_at = if sdev == dev {
+                finish
+            } else {
+                let link = &mut link_free[dev.index() * nd + sdev.index()];
+                let t_start = finish.max(*link);
+                let t = machine.transfer_time(node.out_bytes);
+                *link = t_start + t;
+                t_start + t
+            };
+            let s = succ.index();
+            arrival[s] = arrival[s].max(data_at);
+            in_remaining[s] -= 1;
+            if in_remaining[s] == 0 {
+                ready.push(Reverse((T(arrival[s]), succ.0)));
+            }
+        }
+    }
+    debug_assert!((makespan - expect).abs() < 1e-12, "trace must match simulate");
+    Some(StepTrace { step_time: makespan, ops })
+}
+
+impl StepTrace {
+    /// Exports the schedule in Chrome trace-event format (load in
+    /// `chrome://tracing` or Perfetto). Times are emitted in microseconds.
+    pub fn to_chrome_trace(&self, machine: &Machine) -> String {
+        #[derive(Serialize)]
+        struct Event<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: u32,
+        }
+        let events: Vec<Event> = self
+            .ops
+            .iter()
+            .map(|op| Event {
+                name: &op.name,
+                cat: "op",
+                ph: "X",
+                ts: op.start * 1e6,
+                dur: (op.finish - op.start) * 1e6,
+                pid: 0,
+                tid: op.device as u32,
+            })
+            .collect();
+        let mut doc = serde_json::json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        });
+        // Thread names = device names.
+        let meta: Vec<serde_json::Value> = machine
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                serde_json::json!({
+                    "name": "thread_name", "ph": "M", "pid": 0, "tid": i,
+                    "args": {"name": d.name}
+                })
+            })
+            .collect();
+        if let Some(arr) = doc["traceEvents"].as_array_mut() {
+            arr.extend(meta);
+        }
+        serde_json::to_string(&doc).expect("trace serializes")
+    }
+
+    /// Per-device busy fraction of the step (utilization summary).
+    pub fn utilization(&self, num_devices: usize) -> Vec<f64> {
+        let mut busy = vec![0.0f64; num_devices];
+        for op in &self.ops {
+            busy[op.device as usize] += op.finish - op.start;
+        }
+        busy.iter().map(|b| b / self.step_time.max(f64::MIN_POSITIVE)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::predefined;
+
+    #[test]
+    fn trace_matches_simulate_on_benchmarks() {
+        let machine = Machine::paper_machine();
+        for b in Benchmark::ALL {
+            let graph = b.graph_for(&machine);
+            let placement = match b {
+                Benchmark::InceptionV3 => predefined::single_gpu(&graph, &machine),
+                Benchmark::Gnmt => predefined::human_expert(&graph, &machine).unwrap(),
+                Benchmark::BertBase => predefined::bert_layer_split(&graph, &machine),
+            };
+            let t = trace(&graph, &machine, &placement).expect("valid placement");
+            let s = simulate(&graph, &machine, &placement).step_time().unwrap();
+            assert!((t.step_time - s).abs() < 1e-12, "{}: {} vs {}", b.name(), t.step_time, s);
+            assert_eq!(t.ops.len(), graph.len(), "every op scheduled once");
+        }
+    }
+
+    #[test]
+    fn schedule_is_consistent() {
+        let machine = Machine::paper_machine();
+        let graph = Benchmark::InceptionV3.graph_for(&machine);
+        let placement = predefined::single_gpu(&graph, &machine);
+        let t = trace(&graph, &machine, &placement).unwrap();
+        // No device runs two ops at once.
+        let mut by_dev: std::collections::HashMap<u8, Vec<(f64, f64)>> = Default::default();
+        for op in &t.ops {
+            assert!(op.finish >= op.start);
+            by_dev.entry(op.device).or_default().push((op.start, op.finish));
+        }
+        for intervals in by_dev.values_mut() {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-12, "overlap: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oom_placement_has_no_trace() {
+        let machine = Machine::paper_machine();
+        let graph = Benchmark::Gnmt.graph_for(&machine);
+        let p = predefined::single_gpu(&graph, &machine);
+        assert!(trace(&graph, &machine, &p).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_is_json_with_device_names() {
+        let machine = Machine::paper_machine();
+        let graph = Benchmark::InceptionV3.graph_for(&machine);
+        let placement = predefined::single_gpu(&graph, &machine);
+        let t = trace(&graph, &machine, &placement).unwrap();
+        let json = t.to_chrome_trace(&machine);
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert!(events.len() >= graph.len());
+        assert!(json.contains("/gpu:0"));
+        let util = t.utilization(machine.num_devices());
+        assert!(util.iter().all(|&u| (0.0..=1.0 + 1e-9).contains(&u)));
+        // Single-GPU placement: gpu:0 dominates.
+        assert!(util[1] > 0.5, "utilization {util:?}");
+    }
+}

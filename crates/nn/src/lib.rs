@@ -1,0 +1,31 @@
+//! # eagle-nn
+//!
+//! Neural building blocks for the EAGLE device-placement agent, built on the
+//! `eagle-tensor` autodiff engine:
+//!
+//! * [`Linear`] / [`FeedForward`] — affine layers and MLPs (the grouper).
+//! * [`LstmCell`] / [`Lstm`] / [`BiLstm`] — recurrent cells and encoders.
+//! * [`Seq2SeqPlacer`] — the paper's placer (Fig. 3a): bi-LSTM encoder,
+//!   attention-equipped LSTM decoder, device-embedding feedback, with the
+//!   attention context applied [`AttentionMode::Before`] or
+//!   [`AttentionMode::After`] the decoder (Fig. 4).
+//! * [`GcnPlacer`] — the graph-convolutional alternative (Fig. 3b).
+//! * [`Grouper`] — the feed-forward grouper plus differentiable soft group
+//!   embeddings.
+//! * [`embedding`] — hard-grouping group-embedding construction (Hierarchical
+//!   Planner style).
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+mod grouper;
+mod linear;
+mod lstm;
+mod placer;
+
+pub use grouper::Grouper;
+pub use linear::{Activation, FeedForward, Linear};
+pub use lstm::{BiLstm, Lstm, LstmCell, LstmState};
+pub use placer::{
+    normalize_adjacency, AttentionMode, GcnPlacer, Placer, PlacerOutput, Seq2SeqPlacer, SimplePlacer,
+};

@@ -1,0 +1,518 @@
+//! Placer networks: sequence-to-sequence with Bahdanau attention (the paper's
+//! choice, Fig. 3a / Fig. 4) and a graph-convolutional alternative (Fig. 3b).
+//!
+//! Both consume a `(k, d_in)` matrix of group embeddings and emit one device per
+//! group. They expose a single `forward` that either *samples* actions or
+//! *teacher-forces* a given action sequence (needed to re-evaluate log-probabilities
+//! of old samples under new parameters for PPO's ratio).
+
+use eagle_tensor::{init, ParamId, Params, Tape, Tensor, Var};
+use rand::Rng;
+
+use crate::linear::{Activation, FeedForward, Linear};
+use crate::lstm::{BiLstm, LstmCell};
+
+/// Where the attention context enters the decoder (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionMode {
+    /// Context is an extra *input* to the decoder LSTM (paper's pick for EAGLE:
+    /// "the attention score is applied before feeding to the decoder").
+    Before,
+    /// Context is combined with the decoder *output* before the softmax
+    /// (Hierarchical Planner's variant).
+    After,
+}
+
+/// Output of one placer forward pass.
+#[derive(Debug, Clone)]
+pub struct PlacerOutput {
+    /// Chosen device index per group.
+    pub actions: Vec<usize>,
+    /// Per-group log-probability of the chosen device, `(k, 1)` on the tape.
+    pub step_log_probs: Var,
+    /// Sum of log-probabilities (the joint placement log-probability), `1x1`.
+    pub log_prob: Var,
+    /// Mean per-step policy entropy, `1x1`.
+    pub entropy: Var,
+}
+
+/// Common interface of the two placer designs.
+pub trait Placer {
+    /// Decodes a placement for `x: (k, d_in)` group embeddings. When `forced` is
+    /// given, its actions are scored instead of sampling new ones.
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        x: Var,
+        forced: Option<&[usize]>,
+        rng: &mut dyn rand::RngCore,
+    ) -> PlacerOutput;
+
+    /// Number of devices the placer chooses among.
+    fn num_devices(&self) -> usize;
+}
+
+fn sample_row(probs: &[f32], rng: &mut dyn rand::RngCore) -> usize {
+    let r: f32 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Scores and entropy for one decode step; shared by both placers.
+fn step_policy(
+    tape: &mut Tape,
+    logits: Var,
+    forced: Option<usize>,
+    rng: &mut dyn rand::RngCore,
+) -> (usize, Var, Var) {
+    let log_probs = tape.log_softmax(logits);
+    let probs = tape.softmax(logits);
+    let action = match forced {
+        Some(a) => a,
+        None => sample_row(tape.value(probs).row(0), rng),
+    };
+    let logp = tape.pick_per_row(log_probs, &[action]);
+    let plogp = tape.mul_elem(probs, log_probs);
+    let sum = tape.sum_all(plogp);
+    let ent = tape.neg(sum);
+    (action, logp, ent)
+}
+
+/// The sequence-to-sequence placer (paper Fig. 3a): bi-LSTM encoder over group
+/// embeddings, uni-LSTM decoder emitting one device per group, Bahdanau
+/// content-based attention, previous decision fed back via a device embedding.
+#[derive(Debug, Clone)]
+pub struct Seq2SeqPlacer {
+    input_proj: Linear,
+    encoder: BiLstm,
+    decoder: LstmCell,
+    attn_enc: Linear,
+    attn_dec: Linear,
+    attn_v: ParamId,
+    out: Linear,
+    dev_emb: ParamId,
+    mode: AttentionMode,
+    hidden: usize,
+    n_devices: usize,
+}
+
+impl Seq2SeqPlacer {
+    /// Registers all parameters. `hidden` is the LSTM size (512 in the paper;
+    /// smaller for quick experiments), `attn_dim` the attention space.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        d_in: usize,
+        hidden: usize,
+        attn_dim: usize,
+        n_devices: usize,
+        mode: AttentionMode,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let emb_dim = (hidden / 4).max(4);
+        let dec_in = match mode {
+            AttentionMode::Before => hidden + 2 * hidden + emb_dim,
+            AttentionMode::After => hidden + emb_dim,
+        };
+        let out_in = match mode {
+            AttentionMode::Before => hidden,
+            AttentionMode::After => hidden + 2 * hidden,
+        };
+        Self {
+            input_proj: Linear::new(params, &format!("{name}/in_proj"), d_in, hidden, rng),
+            encoder: BiLstm::new(params, &format!("{name}/enc"), hidden, hidden, rng),
+            decoder: LstmCell::new(params, &format!("{name}/dec"), dec_in, hidden, rng),
+            attn_enc: Linear::new(params, &format!("{name}/attn_enc"), 2 * hidden, attn_dim, rng),
+            attn_dec: Linear::new(params, &format!("{name}/attn_dec"), hidden, attn_dim, rng),
+            attn_v: params.add(format!("{name}/attn_v"), init::xavier_uniform(attn_dim, 1, rng)),
+            out: Linear::new(params, &format!("{name}/out"), out_in, n_devices, rng),
+            // Row n_devices is the start-of-sequence token.
+            dev_emb: params.add(
+                format!("{name}/dev_emb"),
+                init::uniform(n_devices + 1, emb_dim, 0.1, rng),
+            ),
+            mode,
+            hidden,
+            n_devices,
+        }
+    }
+
+    /// The attention-application mode.
+    pub fn mode(&self) -> AttentionMode {
+        self.mode
+    }
+
+    /// Bahdanau context for the current decoder state.
+    fn context(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        enc_outs: Var,
+        enc_proj: Var,
+        dec_h: Var,
+    ) -> Var {
+        let dec_proj = self.attn_dec.forward(tape, params, dec_h); // (1, a)
+        let pre = tape.add_row_broadcast(enc_proj, dec_proj); // (k, a)
+        let act = tape.tanh(pre);
+        let v = tape.param(params, self.attn_v);
+        let scores = tape.matmul(act, v); // (k, 1)
+        let scores_row = tape.transpose(scores); // (1, k)
+        let alpha = tape.softmax(scores_row); // (1, k)
+        tape.matmul(alpha, enc_outs) // (1, 2h)
+    }
+}
+
+impl Placer for Seq2SeqPlacer {
+    fn num_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        x: Var,
+        forced: Option<&[usize]>,
+        rng: &mut dyn rand::RngCore,
+    ) -> PlacerOutput {
+        let k = tape.value(x).rows();
+        if let Some(f) = forced {
+            assert_eq!(f.len(), k, "forced actions must cover every group");
+        }
+        let xs = self.input_proj.forward(tape, params, x); // (k, h)
+        let (enc_outs, enc_last) = self.encoder.forward(tape, params, xs); // (k, 2h)
+        let enc_proj = self.attn_enc.forward(tape, params, enc_outs); // (k, a)
+
+        let mut state = crate::lstm::LstmState {
+            h: enc_last.h,
+            c: tape.leaf(Tensor::zeros(1, self.hidden)),
+        };
+        let dev_table = tape.param(params, self.dev_emb);
+        let mut prev_action = self.n_devices; // start token
+        let mut actions = Vec::with_capacity(k);
+        let mut logps = Vec::with_capacity(k);
+        let mut ents = Vec::with_capacity(k);
+
+        for i in 0..k {
+            let x_i = tape.slice_rows(xs, i, 1); // (1, h)
+            let prev_emb = tape.select_rows(dev_table, &[prev_action]); // (1, e)
+            let (h_i, logits) = match self.mode {
+                AttentionMode::Before => {
+                    let ctx = self.context(tape, params, enc_outs, enc_proj, state.h);
+                    let inp = tape.concat_cols(&[x_i, ctx, prev_emb]);
+                    state = self.decoder.step(tape, params, inp, state);
+                    (state.h, self.out.forward(tape, params, state.h))
+                }
+                AttentionMode::After => {
+                    let inp = tape.concat_cols(&[x_i, prev_emb]);
+                    state = self.decoder.step(tape, params, inp, state);
+                    let ctx = self.context(tape, params, enc_outs, enc_proj, state.h);
+                    let combined = tape.concat_cols(&[state.h, ctx]);
+                    (state.h, self.out.forward(tape, params, combined))
+                }
+            };
+            let _ = h_i;
+            let (a, logp, ent) = step_policy(tape, logits, forced.map(|f| f[i]), rng);
+            actions.push(a);
+            prev_action = a;
+            logps.push(logp);
+            ents.push(ent);
+        }
+
+        let step_log_probs = tape.concat_rows(&logps);
+        let log_prob = tape.sum_all(step_log_probs);
+        let ent_stack = tape.concat_rows(&ents);
+        let entropy = tape.mean_all(ent_stack);
+        PlacerOutput { actions, step_log_probs, log_prob, entropy }
+    }
+}
+
+/// The two-layer GCN placer (paper Fig. 3b): graph convolutions over the *group*
+/// graph, then an independent softmax per group. Requires the group adjacency,
+/// provided as a row-normalized matrix with self-loops.
+#[derive(Debug, Clone)]
+pub struct GcnPlacer {
+    l1: FeedForward,
+    l2: Linear,
+    adj: Tensor,
+    n_devices: usize,
+}
+
+impl GcnPlacer {
+    /// Registers the two graph-convolution layers. `adj` must be `(k, k)`,
+    /// row-normalized with self-loops (see [`normalize_adjacency`]).
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        d_in: usize,
+        hidden: usize,
+        n_devices: usize,
+        adj: Tensor,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        Self {
+            l1: FeedForward::new(params, &format!("{name}/gc1"), &[d_in, hidden], Activation::Identity, rng),
+            l2: Linear::new(params, &format!("{name}/gc2"), hidden, n_devices, rng),
+            adj,
+            n_devices,
+        }
+    }
+}
+
+impl Placer for GcnPlacer {
+    fn num_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        x: Var,
+        forced: Option<&[usize]>,
+        rng: &mut dyn rand::RngCore,
+    ) -> PlacerOutput {
+        let k = tape.value(x).rows();
+        assert_eq!(self.adj.rows(), k, "adjacency size must match group count");
+        if let Some(f) = forced {
+            assert_eq!(f.len(), k, "forced actions must cover every group");
+        }
+        let a = tape.leaf(self.adj.clone());
+        let xw = self.l1.forward(tape, params, x);
+        let ax = tape.matmul(a, xw);
+        let h1 = tape.relu(ax);
+        let hw = self.l2.forward(tape, params, h1);
+        let logits = tape.matmul(a, hw); // (k, nd)
+
+        let log_probs = tape.log_softmax(logits);
+        let probs = tape.softmax(logits);
+        let actions: Vec<usize> = (0..k)
+            .map(|i| match forced {
+                Some(f) => f[i],
+                None => sample_row(tape.value(probs).row(i), rng),
+            })
+            .collect();
+        let step_log_probs = tape.pick_per_row(log_probs, &actions);
+        let log_prob = tape.sum_all(step_log_probs);
+        let plogp = tape.mul_elem(probs, log_probs);
+        let total = tape.sum_all(plogp);
+        let scaled = tape.scale(total, -1.0 / k as f32);
+        PlacerOutput { actions, step_log_probs, log_prob, entropy: scaled }
+    }
+}
+
+/// Post's "simple neural network" placer: an MLP mapping each group embedding to an
+/// independent categorical over devices. No recurrence, no attention — the paper
+/// credits its stability (and blames its local optima) on exactly this simplicity.
+#[derive(Debug, Clone)]
+pub struct SimplePlacer {
+    net: FeedForward,
+    n_devices: usize,
+}
+
+impl SimplePlacer {
+    /// Registers a `d_in -> hidden -> n_devices` ReLU MLP.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        d_in: usize,
+        hidden: usize,
+        n_devices: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            net: FeedForward::new(
+                params,
+                name,
+                &[d_in, hidden, n_devices],
+                Activation::Relu,
+                rng,
+            ),
+            n_devices,
+        }
+    }
+}
+
+impl Placer for SimplePlacer {
+    fn num_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        x: Var,
+        forced: Option<&[usize]>,
+        rng: &mut dyn rand::RngCore,
+    ) -> PlacerOutput {
+        let k = tape.value(x).rows();
+        if let Some(f) = forced {
+            assert_eq!(f.len(), k, "forced actions must cover every group");
+        }
+        let logits = self.net.forward(tape, params, x);
+        let log_probs = tape.log_softmax(logits);
+        let probs = tape.softmax(logits);
+        let actions: Vec<usize> = (0..k)
+            .map(|i| match forced {
+                Some(f) => f[i],
+                None => sample_row(tape.value(probs).row(i), rng),
+            })
+            .collect();
+        let step_log_probs = tape.pick_per_row(log_probs, &actions);
+        let log_prob = tape.sum_all(step_log_probs);
+        let plogp = tape.mul_elem(probs, log_probs);
+        let total = tape.sum_all(plogp);
+        let entropy = tape.scale(total, -1.0 / k as f32);
+        PlacerOutput { actions, step_log_probs, log_prob, entropy }
+    }
+}
+
+/// Builds the row-normalized group adjacency (with self-loops) the GCN placer
+/// expects, from a hard op-to-group assignment.
+pub fn normalize_adjacency(graph: &eagle_opgraph::OpGraph, group_of: &[usize], k: usize) -> Tensor {
+    let mut adj = Tensor::zeros(k, k);
+    for (u, v) in graph.edges() {
+        let (gu, gv) = (group_of[u.index()], group_of[v.index()]);
+        if gu != gv {
+            adj.set(gu, gv, 1.0);
+            adj.set(gv, gu, 1.0);
+        }
+    }
+    for i in 0..k {
+        adj.set(i, i, 1.0);
+    }
+    for r in 0..k {
+        let sum: f32 = adj.row(r).iter().sum();
+        for c in 0..k {
+            let v = adj.get(r, c) / sum;
+            adj.set(r, c, v);
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(mode: AttentionMode) -> (Params, Seq2SeqPlacer) {
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let placer = Seq2SeqPlacer::new(&mut params, "p", 7, 12, 8, 5, mode, &mut rng);
+        (params, placer)
+    }
+
+    fn run(
+        params: &Params,
+        placer: &impl Placer,
+        x: &Tensor,
+        forced: Option<&[usize]>,
+        seed: u64,
+    ) -> (Vec<usize>, f32, f32) {
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = placer.forward(&mut tape, params, xv, forced, &mut rng);
+        (
+            out.actions.clone(),
+            tape.value(out.log_prob).item(),
+            tape.value(out.entropy).item(),
+        )
+    }
+
+    #[test]
+    fn seq2seq_before_samples_valid_actions() {
+        let (params, placer) = setup(AttentionMode::Before);
+        let x = Tensor::full(6, 7, 0.3);
+        let (actions, logp, ent) = run(&params, &placer, &x, None, 1);
+        assert_eq!(actions.len(), 6);
+        assert!(actions.iter().all(|&a| a < 5));
+        assert!(logp < 0.0, "log-prob of a sample is negative");
+        assert!(ent > 0.0 && ent <= (5.0f32).ln() + 1e-4, "entropy in (0, ln 5]");
+    }
+
+    #[test]
+    fn seq2seq_after_mode_works_too() {
+        let (params, placer) = setup(AttentionMode::After);
+        let x = Tensor::full(4, 7, -0.2);
+        let (actions, logp, _) = run(&params, &placer, &x, None, 2);
+        assert_eq!(actions.len(), 4);
+        assert!(logp.is_finite());
+    }
+
+    #[test]
+    fn teacher_forcing_reproduces_log_prob() {
+        let (params, placer) = setup(AttentionMode::Before);
+        let x = Tensor::full(5, 7, 0.1);
+        let (actions, logp_sampled, _) = run(&params, &placer, &x, None, 3);
+        // Re-scoring the same actions must give the same joint log-probability.
+        let (actions2, logp_forced, _) = run(&params, &placer, &x, Some(&actions), 99);
+        assert_eq!(actions, actions2);
+        assert!((logp_sampled - logp_forced).abs() < 1e-4);
+    }
+
+    #[test]
+    fn different_forced_actions_change_log_prob() {
+        let (params, placer) = setup(AttentionMode::Before);
+        let x = Tensor::full(5, 7, 0.1);
+        let (_, lp_a, _) = run(&params, &placer, &x, Some(&[0, 0, 0, 0, 0]), 1);
+        let (_, lp_b, _) = run(&params, &placer, &x, Some(&[4, 4, 4, 4, 4]), 1);
+        assert_ne!(lp_a, lp_b);
+    }
+
+    #[test]
+    fn gcn_placer_shapes_and_determinism() {
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let adj = Tensor::eye(4);
+        let placer = GcnPlacer::new(&mut params, "g", 7, 10, 5, adj, &mut rng);
+        let x = Tensor::full(4, 7, 0.5);
+        let (a1, lp1, ent) = run(&params, &placer, &x, None, 42);
+        let (a2, lp2, _) = run(&params, &placer, &x, None, 42);
+        assert_eq!(a1, a2, "same sampling seed, same actions");
+        assert_eq!(lp1, lp2);
+        assert!(ent > 0.0);
+        assert!(a1.iter().all(|&a| a < 5));
+    }
+
+    #[test]
+    fn normalize_adjacency_rows_sum_to_one() {
+        use eagle_opgraph::{OpGraph, OpKind, OpNode, Phase};
+        let mut g = OpGraph::new("t");
+        let a = g.add_node(OpNode::new("a", OpKind::MatMul, Phase::Forward));
+        let b = g.add_node(OpNode::new("b", OpKind::MatMul, Phase::Forward));
+        let c = g.add_node(OpNode::new("c", OpKind::MatMul, Phase::Forward));
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let adj = normalize_adjacency(&g, &[0, 1, 1], 2);
+        for r in 0..2 {
+            let s: f32 = adj.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(adj.get(0, 1) > 0.0, "groups 0 and 1 are connected");
+    }
+
+    #[test]
+    fn gradients_flow_through_placer() {
+        let (mut params, placer) = setup(AttentionMode::Before);
+        let x = Tensor::full(3, 7, 0.2);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let out = placer.forward(&mut tape, &params, xv, None, &mut rng);
+        let loss = tape.neg(out.log_prob);
+        tape.backward(loss, &mut params);
+        assert!(params.grad_global_norm() > 0.0, "some gradient must reach the params");
+    }
+}

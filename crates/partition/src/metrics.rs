@@ -1,0 +1,86 @@
+//! Partition-quality metrics: edge cut and load balance.
+
+use eagle_opgraph::OpGraph;
+
+use crate::WeightedGraph;
+
+/// Sum of weights of edges whose endpoints live in different groups
+/// (each undirected edge counted once).
+pub fn edge_cut(w: &WeightedGraph, assign: &[usize]) -> f64 {
+    let mut cut = 0.0;
+    for (u, nbrs) in w.adj.iter().enumerate() {
+        for &(v, ew) in nbrs {
+            if u < v && assign[u] != assign[v] {
+                cut += ew;
+            }
+        }
+    }
+    cut
+}
+
+/// Edge cut in raw bytes over the original directed op graph.
+pub fn cut_bytes(g: &OpGraph, assign: &[usize]) -> u64 {
+    g.edges()
+        .filter(|&(u, v)| assign[u.index()] != assign[v.index()])
+        .map(|(u, _)| g.node(u).out_bytes)
+        .sum()
+}
+
+/// Maximum group weight divided by the ideal (total / k); 1.0 is perfect balance.
+pub fn balance(w: &WeightedGraph, assign: &[usize], k: usize) -> f64 {
+    let mut loads = vec![0.0f64; k];
+    for (i, &g) in assign.iter().enumerate() {
+        loads[g] += w.node_weight[i];
+    }
+    let ideal = w.total_weight() / k as f64;
+    loads.iter().cloned().fold(0.0, f64::max) / ideal.max(f64::MIN_POSITIVE)
+}
+
+/// Number of non-empty groups.
+pub fn used_groups(assign: &[usize], k: usize) -> usize {
+    let mut seen = vec![false; k];
+    for &g in assign {
+        seen[g] = true;
+    }
+    seen.iter().filter(|&&s| s).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagle_opgraph::{OpKind, OpNode, Phase};
+
+    fn path(n: usize) -> OpGraph {
+        let mut g = OpGraph::new("p");
+        let mut prev = None;
+        for i in 0..n {
+            let id = g.add_node(
+                OpNode::new(format!("n{i}"), OpKind::MatMul, Phase::Forward)
+                    .with_flops(1.0)
+                    .with_out_bytes(9),
+            );
+            if let Some(p) = prev {
+                g.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        g
+    }
+
+    #[test]
+    fn cut_and_balance_on_path() {
+        let g = path(4);
+        let w = WeightedGraph::from_op_graph(&g);
+        // Split in the middle: one cut edge of weight 10.
+        let assign = vec![0, 0, 1, 1];
+        assert_eq!(edge_cut(&w, &assign), 10.0);
+        assert_eq!(cut_bytes(&g, &assign), 9);
+        assert!((balance(&w, &assign, 2) - 1.0).abs() < 1e-9);
+        // Everything in one group: zero cut, balance = k.
+        let one = vec![0, 0, 0, 0];
+        assert_eq!(edge_cut(&w, &one), 0.0);
+        assert_eq!(balance(&w, &one, 2), 2.0);
+        assert_eq!(used_groups(&one, 2), 1);
+        assert_eq!(used_groups(&assign, 2), 2);
+    }
+}

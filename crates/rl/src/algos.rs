@@ -1,0 +1,328 @@
+//! The three training algorithms the paper evaluates (Sec. III-D, Table III):
+//! REINFORCE, clipped-surrogate PPO, and PPO joined with cross-entropy minimization
+//! (Post's algorithm).
+
+use eagle_tensor::{optim::Adam, Params};
+
+use crate::policy::StochasticPolicy;
+
+/// One collected sample ready for a policy update.
+#[derive(Debug, Clone)]
+pub struct TrainSample {
+    /// The flat action vector the policy produced.
+    pub actions: Vec<usize>,
+    /// Joint log-probability at sampling time (PPO's `pi_old`).
+    pub old_log_prob: f32,
+    /// Estimated advantage (reward minus baseline).
+    pub advantage: f32,
+}
+
+/// Statistics of one update, for logging and tests.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateStats {
+    /// Mean loss across gradient steps.
+    pub loss: f32,
+    /// Mean policy entropy observed.
+    pub entropy: f32,
+    /// Pre-clip global gradient norm of the last step.
+    pub grad_norm: f32,
+}
+
+/// Shared optimizer knobs (paper Sec. IV-C: Adam, lr 0.01, clip by norm at 1.0).
+#[derive(Debug, Clone)]
+pub struct OptimConfig {
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Entropy-bonus coefficient (paper: 0.01).
+    pub ent_coef: f32,
+}
+
+impl Default for OptimConfig {
+    fn default() -> Self {
+        Self { lr: 0.01, grad_clip: 1.0, ent_coef: 0.01 }
+    }
+}
+
+/// Plain REINFORCE with a baseline: maximizes `E[advantage * log pi(a)]`.
+pub struct Reinforce {
+    cfg: OptimConfig,
+    opt: Adam,
+}
+
+impl Reinforce {
+    /// Creates the trainer with its own Adam state.
+    pub fn new(cfg: OptimConfig) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Self { cfg, opt }
+    }
+
+    /// One gradient step over a batch of samples.
+    pub fn update(
+        &mut self,
+        policy: &impl StochasticPolicy,
+        params: &mut Params,
+        batch: &[TrainSample],
+    ) -> UpdateStats {
+        assert!(!batch.is_empty(), "empty training batch");
+        params.zero_grad();
+        let mut loss_total = 0.0f32;
+        let mut ent_total = 0.0f32;
+        let scale = 1.0 / batch.len() as f32;
+        for s in batch {
+            let mut h = policy.score(params, &s.actions);
+            // loss = -(adv * logp + ent_coef * entropy), averaged over the batch.
+            let weighted = h.tape.scale(h.log_prob, s.advantage);
+            let ent_term = h.tape.scale(h.entropy, self.cfg.ent_coef);
+            let gain = h.tape.add(weighted, ent_term);
+            let neg = h.tape.neg(gain);
+            let mut loss = h.tape.scale(neg, scale);
+            if let Some(aux) = h.aux_loss {
+                let aux_scaled = h.tape.scale(aux, scale);
+                loss = h.tape.add(loss, aux_scaled);
+            }
+            loss_total += h.tape.value(loss).item();
+            ent_total += h.tape.value(h.entropy).item();
+            h.tape.backward(loss, params);
+        }
+        let grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
+        self.opt.step(params);
+        UpdateStats { loss: loss_total, entropy: ent_total * scale, grad_norm }
+    }
+}
+
+/// Clipped-surrogate PPO (paper Eq. 3): several epochs of minibatch updates per
+/// batch of samples, with the ratio clipped to `[1 - eps, 1 + eps]`.
+pub struct Ppo {
+    cfg: OptimConfig,
+    /// Clip range `eps` (paper: 0.3).
+    pub clip: f32,
+    /// Gradient steps per collected batch (paper: 4).
+    pub epochs: usize,
+    opt: Adam,
+}
+
+impl Ppo {
+    /// Creates the trainer (paper defaults: clip 0.3, 4 epochs).
+    pub fn new(cfg: OptimConfig, clip: f32, epochs: usize) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Self { cfg, clip, epochs, opt }
+    }
+
+    /// Runs `epochs` gradient steps over the batch.
+    pub fn update(
+        &mut self,
+        policy: &impl StochasticPolicy,
+        params: &mut Params,
+        batch: &[TrainSample],
+    ) -> UpdateStats {
+        assert!(!batch.is_empty(), "empty training batch");
+        let mut stats = UpdateStats::default();
+        let scale = 1.0 / batch.len() as f32;
+        for _ in 0..self.epochs {
+            params.zero_grad();
+            let mut loss_total = 0.0f32;
+            let mut ent_total = 0.0f32;
+            for s in batch {
+                let mut h = policy.score(params, &s.actions);
+                let old = h.tape.add_scalar(h.log_prob, -s.old_log_prob);
+                let ratio = h.tape.exp(old);
+                let unclipped = h.tape.scale(ratio, s.advantage);
+                let clipped_ratio = h.tape.clamp(ratio, 1.0 - self.clip, 1.0 + self.clip);
+                let clipped = h.tape.scale(clipped_ratio, s.advantage);
+                let surr = h.tape.min_elem(unclipped, clipped);
+                let ent_term = h.tape.scale(h.entropy, self.cfg.ent_coef);
+                let gain = h.tape.add(surr, ent_term);
+                let neg = h.tape.neg(gain);
+                let mut loss = h.tape.scale(neg, scale);
+                if let Some(aux) = h.aux_loss {
+                    let aux_scaled = h.tape.scale(aux, scale);
+                    loss = h.tape.add(loss, aux_scaled);
+                }
+                loss_total += h.tape.value(loss).item();
+                ent_total += h.tape.value(h.entropy).item();
+                h.tape.backward(loss, params);
+            }
+            stats.loss = loss_total;
+            stats.entropy = ent_total * scale;
+            stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
+            self.opt.step(params);
+        }
+        stats
+    }
+}
+
+/// Cross-entropy minimization over elite samples (the "CE" half of Post's joint
+/// algorithm): maximize the likelihood of the top-K placements seen so far.
+pub struct CrossEntropyMin {
+    cfg: OptimConfig,
+    /// Gradient steps per elite update.
+    pub steps: usize,
+    opt: Adam,
+}
+
+impl CrossEntropyMin {
+    /// Creates the trainer.
+    pub fn new(cfg: OptimConfig, steps: usize) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Self { cfg, steps, opt }
+    }
+
+    /// Fits the policy towards the elite action vectors.
+    pub fn update(
+        &mut self,
+        policy: &impl StochasticPolicy,
+        params: &mut Params,
+        elites: &[Vec<usize>],
+    ) -> UpdateStats {
+        assert!(!elites.is_empty(), "no elites to fit");
+        let mut stats = UpdateStats::default();
+        let scale = 1.0 / elites.len() as f32;
+        for _ in 0..self.steps {
+            params.zero_grad();
+            let mut loss_total = 0.0f32;
+            for actions in elites {
+                let mut h = policy.score(params, actions);
+                let neg = h.tape.neg(h.log_prob);
+                let mut loss = h.tape.scale(neg, scale);
+                if let Some(aux) = h.aux_loss {
+                    let aux_scaled = h.tape.scale(aux, scale);
+                    loss = h.tape.add(loss, aux_scaled);
+                }
+                loss_total += h.tape.value(loss).item();
+                h.tape.backward(loss, params);
+            }
+            stats.loss = loss_total;
+            stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
+            self.opt.step(params);
+        }
+        stats
+    }
+}
+
+/// Selects the indices of the `k` highest-reward samples (ties broken by recency:
+/// later samples win). Used to pick CE elites from the sample history.
+pub fn top_k_indices(rewards: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..rewards.len()).collect();
+    idx.sort_by(|&a, &b| rewards[b].total_cmp(&rewards[a]).then(b.cmp(&a)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_policy::Bandit;
+    use crate::reward::EmaBaseline;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Arm rewards for the 4-arm test bandit.
+    fn arm_reward(arm: usize) -> f64 {
+        [0.1, 0.5, 1.0, 0.2][arm]
+    }
+
+    /// Faster learning rate than the paper's default so the toy bandit converges
+    /// within a handful of updates.
+    fn test_cfg() -> OptimConfig {
+        OptimConfig { lr: 0.1, ..Default::default() }
+    }
+
+    fn train_bandit(
+        mut update: impl FnMut(&Bandit, &mut Params, &[TrainSample]) -> UpdateStats,
+    ) -> Vec<f32> {
+        let mut params = Params::new();
+        let bandit = Bandit::new(&mut params, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut baseline = EmaBaseline::new(0.2);
+        for _ in 0..150 {
+            let batch: Vec<TrainSample> = (0..10)
+                .map(|_| {
+                    let (actions, old_log_prob) = bandit.sample(&params, &mut rng);
+                    let adv = baseline.advantage(arm_reward(actions[0])) as f32;
+                    TrainSample { actions, old_log_prob, advantage: adv }
+                })
+                .collect();
+            update(&bandit, &mut params, &batch);
+        }
+        bandit.probs(&params)
+    }
+
+    #[test]
+    fn reinforce_learns_best_arm() {
+        let mut tr = Reinforce::new(test_cfg());
+        let probs = train_bandit(move |p, params, b| tr.update(p, params, b));
+        assert!(probs[2] > 0.8, "best arm should dominate: {probs:?}");
+    }
+
+    #[test]
+    fn ppo_learns_best_arm() {
+        let mut tr = Ppo::new(test_cfg(), 0.3, 4);
+        let probs = train_bandit(move |p, params, b| tr.update(p, params, b));
+        assert!(probs[2] > 0.8, "best arm should dominate: {probs:?}");
+    }
+
+    #[test]
+    fn ppo_ratio_clipping_limits_update() {
+        // A single huge-advantage sample: with clipping the logits must move less
+        // over one update than an unclipped REINFORCE step of the same lr.
+        let mk = |clip: Option<f32>| -> f32 {
+            let mut params = Params::new();
+            let bandit = Bandit::new(&mut params, 4);
+            let sample = TrainSample {
+                actions: vec![0],
+                old_log_prob: (0.25f32).ln(),
+                advantage: 50.0,
+            };
+            match clip {
+                Some(c) => {
+                    let mut tr = Ppo::new(test_cfg(), c, 40);
+                    tr.update(&bandit, &mut params, &[sample]);
+                }
+                None => {
+                    let mut tr = Reinforce::new(test_cfg());
+                    for _ in 0..40 {
+                        tr.update(&bandit, &mut params, std::slice::from_ref(&sample));
+                    }
+                }
+            }
+            bandit.probs(&params)[0]
+        };
+        let clipped = mk(Some(0.2));
+        let unclipped = mk(None);
+        assert!(
+            clipped < unclipped,
+            "clipping should slow the policy shift: {clipped} vs {unclipped}"
+        );
+    }
+
+    #[test]
+    fn cross_entropy_concentrates_on_elites() {
+        let mut params = Params::new();
+        let bandit = Bandit::new(&mut params, 4);
+        let mut tr = CrossEntropyMin::new(test_cfg(), 100);
+        tr.update(&bandit, &mut params, &[vec![3], vec![3], vec![3]]);
+        let probs = bandit.probs(&params);
+        assert!(probs[3] > 0.9, "elite arm should dominate: {probs:?}");
+    }
+
+    #[test]
+    fn top_k_selects_best_and_prefers_recent() {
+        let rewards = vec![-3.0, -1.0, -2.0, -1.0];
+        let top = top_k_indices(&rewards, 2);
+        assert_eq!(top.len(), 2);
+        // Both -1.0 rewards beat the rest; the later one (index 3) ranks first.
+        assert_eq!(top, vec![3, 1]);
+        assert_eq!(top_k_indices(&rewards, 10).len(), 4, "k clamps to len");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training batch")]
+    fn empty_batch_panics() {
+        let mut params = Params::new();
+        let bandit = Bandit::new(&mut params, 4);
+        let mut tr = Reinforce::new(OptimConfig::default());
+        tr.update(&bandit, &mut params, &[]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # eagle-rl
+//!
+//! Reinforcement-learning training algorithms for device placement, exactly the set
+//! the paper studies in Sec. III-D: [`Reinforce`], clipped-surrogate [`Ppo`]
+//! (minibatch 10, 4 epochs, clip 0.3, entropy 0.01), and [`CrossEntropyMin`] over
+//! elite samples (Post's joint algorithm = PPO + CE every 50 samples, top-5 elites).
+//!
+//! Rewards follow the paper's Eq. 4: `R = -sqrt(per-step time)` with an
+//! exponential-moving-average baseline ([`EmaBaseline`]) instead of a critic.
+//!
+//! Agents plug in through the [`StochasticPolicy`] trait: sample a flat action
+//! vector, and re-score a given vector differentiably on a fresh tape.
+
+#![warn(missing_docs)]
+
+mod algos;
+mod policy;
+mod reward;
+
+pub use algos::{top_k_indices, CrossEntropyMin, OptimConfig, Ppo, Reinforce, TrainSample, UpdateStats};
+pub use policy::{ScoreHandle, StochasticPolicy};
+pub use reward::{invalid_reward, reward_from_time, EmaBaseline, RewardTransform};

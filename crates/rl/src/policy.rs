@@ -1,0 +1,91 @@
+//! The policy abstraction the training algorithms operate on.
+//!
+//! An agent (EAGLE, Hierarchical Planner, Post) exposes its stochastic decision as a
+//! flat action vector; the algorithms only need to sample actions and to re-score a
+//! given action vector under the current parameters (producing differentiable
+//! log-probability and entropy on a fresh tape).
+
+use eagle_tensor::{Params, Tape, Var};
+
+/// A scoring pass: the tape that built it plus the loss-relevant heads.
+pub struct ScoreHandle {
+    /// The tape holding the forward pass (call `backward` on it with a loss).
+    pub tape: Tape,
+    /// Joint log-probability of the scored actions, `1x1`.
+    pub log_prob: Var,
+    /// Mean per-decision entropy of the policy, `1x1`.
+    pub entropy: Var,
+    /// Optional differentiable auxiliary loss the agent wants *added* to every
+    /// policy-update loss (e.g. EAGLE's group-balance regularizer). Must not
+    /// depend on the sampled actions, so PPO's importance ratios stay valid.
+    pub aux_loss: Option<Var>,
+}
+
+/// A stochastic policy over flat action vectors.
+pub trait StochasticPolicy {
+    /// Samples an action vector, returning it with its joint log-probability under
+    /// the sampling parameters (needed for PPO's importance ratio).
+    fn sample(&self, params: &Params, rng: &mut dyn rand::RngCore) -> (Vec<usize>, f32);
+
+    /// Re-scores `actions` under `params` on a fresh tape.
+    fn score(&self, params: &Params, actions: &[usize]) -> ScoreHandle;
+}
+
+#[cfg(test)]
+pub(crate) mod test_policy {
+    //! A minimal categorical bandit policy used to unit-test the algorithms in
+    //! isolation from the full placement networks.
+
+    use super::*;
+    use eagle_tensor::{ParamId, Tensor};
+
+    /// Single categorical distribution over `n` arms, parameterized by raw logits.
+    pub struct Bandit {
+        pub logits: ParamId,
+        pub arms: usize,
+    }
+
+    impl Bandit {
+        pub fn new(params: &mut Params, arms: usize) -> Self {
+            Self { logits: params.add("bandit/logits", Tensor::zeros(1, arms)), arms }
+        }
+
+        pub fn probs(&self, params: &Params) -> Vec<f32> {
+            let mut tape = Tape::new();
+            let l = tape.param(params, self.logits);
+            let p = tape.softmax(l);
+            tape.value(p).row(0).to_vec()
+        }
+    }
+
+    impl StochasticPolicy for Bandit {
+        fn sample(&self, params: &Params, rng: &mut dyn rand::RngCore) -> (Vec<usize>, f32) {
+            use rand::Rng;
+            let probs = self.probs(params);
+            let r: f32 = rng.gen();
+            let mut acc = 0.0;
+            let mut arm = self.arms - 1;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if r < acc {
+                    arm = i;
+                    break;
+                }
+            }
+            (vec![arm], probs[arm].ln())
+        }
+
+        fn score(&self, params: &Params, actions: &[usize]) -> ScoreHandle {
+            let mut tape = Tape::new();
+            let l = tape.param(params, self.logits);
+            let ls = tape.log_softmax(l);
+            let picked = tape.pick_per_row(ls, &actions[..1]);
+            let log_prob = tape.sum_all(picked);
+            let p = tape.softmax(l);
+            let plogp = tape.mul_elem(p, ls);
+            let s = tape.sum_all(plogp);
+            let entropy = tape.neg(s);
+            ScoreHandle { tape, log_prob, entropy, aux_loss: None }
+        }
+    }
+}

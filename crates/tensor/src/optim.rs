@@ -1,0 +1,156 @@
+//! First-order optimizers operating on a [`Params`] store.
+//!
+//! The paper trains every agent with Adam (lr = 0.01) and clips gradients by global
+//! norm at 1.0; both are implemented here, plus plain SGD for tests and ablations.
+
+use crate::params::{ParamId, Params};
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent: `w -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one update using the gradients currently in `params`.
+    pub fn step(&mut self, params: &mut Params) {
+        let ids: Vec<ParamId> = params.ids().collect();
+        for id in ids {
+            let g = params.grad(id).clone();
+            params.get_mut(id).add_scaled(&g, -self.lr);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (`0.01` in the paper).
+    pub lr: f32,
+    /// First-moment decay (default `0.9`).
+    pub beta1: f32,
+    /// Second-moment decay (default `0.999`).
+    pub beta2: f32,
+    /// Numerical-stability constant (default `1e-8`).
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update using the gradients currently in `params`.
+    ///
+    /// Moment buffers are allocated lazily on the first step; the store's layout
+    /// (count and shapes of parameters) must stay fixed across steps.
+    pub fn step(&mut self, params: &mut Params) {
+        if self.m.is_empty() {
+            for id in params.ids().collect::<Vec<_>>() {
+                let (r, c) = params.get(id).shape();
+                self.m.push(Tensor::zeros(r, c));
+                self.v.push(Tensor::zeros(r, c));
+            }
+        }
+        assert_eq!(self.m.len(), params.len(), "param store layout changed under Adam");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<ParamId> = params.ids().collect();
+        for id in ids {
+            let idx = id.index();
+            let g = params.grad(id).clone();
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for j in 0..g.len() {
+                let gj = g.data()[j];
+                m.data_mut()[j] = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
+                v.data_mut()[j] = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
+                let m_hat = m.data()[j] / bc1;
+                let v_hat = v.data()[j] / bc2;
+                params.get_mut(id).data_mut()[j] -=
+                    self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizes `(w - 3)^2` and checks convergence.
+    fn quadratic_descent(mut step: impl FnMut(&mut Params), params: &mut Params) -> f32 {
+        let id = params.ids().next().unwrap();
+        for _ in 0..400 {
+            params.zero_grad();
+            let mut tape = Tape::new();
+            let w = tape.param(params, id);
+            let shifted = tape.add_scalar(w, -3.0);
+            let sq = tape.mul_elem(shifted, shifted);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss, params);
+            step(params);
+        }
+        params.get(id).item()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut params = Params::new();
+        params.add("w", Tensor::scalar(-5.0));
+        let mut opt = Sgd::new(0.1);
+        let w = quadratic_descent(|p| opt.step(p), &mut params);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut params = Params::new();
+        params.add("w", Tensor::scalar(-5.0));
+        let mut opt = Adam::new(0.05);
+        let w = quadratic_descent(|p| opt.step(p), &mut params);
+        assert!((w - 3.0).abs() < 0.1, "w = {w}");
+        assert_eq!(opt.steps(), 400);
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut params = Params::new();
+        let a = params.add("a", Tensor::scalar(10.0));
+        let b = params.add("b", Tensor::row_vector(&[-2.0, 4.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..600 {
+            params.zero_grad();
+            let mut tape = Tape::new();
+            let va = tape.param(&params, a);
+            let vb = tape.param(&params, b);
+            let sa = tape.mul_elem(va, va);
+            let sb = tape.mul_elem(vb, vb);
+            let la = tape.sum_all(sa);
+            let lb = tape.sum_all(sb);
+            let loss = tape.add(la, lb);
+            tape.backward(loss, &mut params);
+            opt.step(&mut params);
+        }
+        assert!(params.get(a).item().abs() < 1e-2);
+        assert!(params.get(b).norm() < 1e-2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Named parameter storage shared by all network modules.
+//!
+//! Modules do not own their weights; they hold [`ParamId`] handles into a [`Params`]
+//! store. A fresh [`Tape`](crate::tape::Tape) is built per forward pass, parameters are
+//! injected with [`Tape::param`](crate::tape::Tape::param), and
+//! [`Tape::backward`](crate::tape::Tape::backward) accumulates gradients back into the
+//! store, where an optimizer consumes them.
+
+use crate::tensor::Tensor;
+
+/// Handle to one parameter tensor inside a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index of this parameter inside its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A flat store of named parameter tensors and their gradient accumulators.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Params {
+    entries: Vec<ParamEntry>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle. Gradient starts at zero.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.entries.push(ParamEntry { name: name.into(), value, grad });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Name the parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value of a parameter (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable gradient accumulator.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Iterator over all parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Resets every gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.data_mut().fill(0.0);
+        }
+    }
+
+    /// Global L2 norm over all gradients (the quantity gradient clipping bounds).
+    pub fn grad_global_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|&g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so their global norm is at most `max_norm`
+    /// (the paper clips at 1.0). Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad.scale_inplace(scale);
+            }
+        }
+        norm
+    }
+
+    /// Copies all parameter values from `other`. Stores must have identical layout
+    /// (same registration order and shapes); used for snapshotting `pi_old` in PPO.
+    pub fn copy_values_from(&mut self, other: &Params) {
+        assert_eq!(self.entries.len(), other.entries.len(), "param store layout mismatch");
+        for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
+            assert_eq!(dst.value.shape(), src.value.shape(), "param shape mismatch");
+            dst.value = src.value.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_names() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::full(2, 3, 1.0));
+        let b = p.add("b", Tensor::zeros(1, 3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 9);
+        assert_eq!(p.name(w), "w");
+        assert_eq!(p.get(b).shape(), (1, 3));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::zeros(1, 2));
+        p.grad_mut(w).data_mut().copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(p.grad_global_norm(), 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad_global_norm(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::zeros(1, 2));
+        p.grad_mut(w).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let pre = p.clip_grad_norm(1.0);
+        assert_eq!(pre, 5.0);
+        assert!((p.grad_global_norm() - 1.0).abs() < 1e-6);
+        // Already below threshold: untouched.
+        let pre2 = p.clip_grad_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-6);
+        assert!((p.grad_global_norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn copy_values_from_snapshots() {
+        let mut a = Params::new();
+        let w = a.add("w", Tensor::full(1, 2, 1.0));
+        let mut b = Params::new();
+        b.add("w", Tensor::zeros(1, 2));
+        b.copy_values_from(&a);
+        assert_eq!(b.get(ParamId(0)), a.get(w));
+    }
+}

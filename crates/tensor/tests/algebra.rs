@@ -1,0 +1,91 @@
+//! Property-based algebraic identities of the tensor kernels — the correctness
+//! bedrock under the autodiff tape.
+
+use eagle_tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    init::uniform(rows, cols, 2.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..6, k in 1usize..6, n in 1usize..6, s in 0u64..500) {
+        let a = tensor(m, k, s);
+        let b = tensor(k, n, s + 1);
+        let c = tensor(k, n, s + 2);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, s in 0u64..500) {
+        // (A B)^T == B^T A^T
+        let a = tensor(m, k, s);
+        let b = tensor(k, n, s + 3);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_associativity(m in 1usize..5, k in 1usize..5, n in 1usize..5, p in 1usize..5, s in 0u64..500) {
+        let a = tensor(m, k, s);
+        let b = tensor(k, n, s + 4);
+        let c = tensor(n, p, s + 5);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-2);
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(rows in 1usize..5, cols in 1usize..8, shift in -10.0f32..10.0, s in 0u64..500) {
+        let t = tensor(rows, cols, s);
+        let shifted = t.map(|x| x + shift);
+        let a = t.softmax_rows();
+        let b = shifted.softmax_rows();
+        prop_assert!(a.max_abs_diff(&b) < 1e-4);
+    }
+
+    #[test]
+    fn scale_and_norm(rows in 1usize..6, cols in 1usize..6, c in -4.0f32..4.0, s in 0u64..500) {
+        let t = tensor(rows, cols, s);
+        let scaled = t.scaled(c);
+        prop_assert!((scaled.norm() - c.abs() * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+        prop_assert!((scaled.sum() - c * t.sum()).abs() < 1e-2 * (1.0 + t.sum().abs()));
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(r1 in 1usize..5, r2 in 1usize..5, cols in 1usize..6, s in 0u64..500) {
+        let a = tensor(r1, cols, s);
+        let b = tensor(r2, cols, s + 6);
+        let cat = Tensor::concat_rows(&[&a, &b]);
+        prop_assert_eq!(cat.slice_rows(0, r1), a);
+        prop_assert_eq!(cat.slice_rows(r1, r2), b);
+    }
+
+    #[test]
+    fn select_rows_matches_manual(rows in 2usize..6, cols in 1usize..6, s in 0u64..500) {
+        let t = tensor(rows, cols, s);
+        let idx = vec![rows - 1, 0, rows / 2];
+        let sel = t.select_rows(&idx);
+        for (i, &r) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(i), t.row(r));
+        }
+    }
+
+    #[test]
+    fn zip_add_commutes(rows in 1usize..6, cols in 1usize..6, s in 0u64..500) {
+        let a = tensor(rows, cols, s);
+        let b = tensor(rows, cols, s + 7);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert!(a.sub(&b).add(&b).max_abs_diff(&a) < 1e-4);
+        prop_assert_eq!(a.mul_elem(&b), b.mul_elem(&a));
+    }
+}

@@ -1,0 +1,72 @@
+//! BERT — the paper's "very large model" case, where Hierarchical Planner fails.
+//!
+//! ```sh
+//! cargo run --release --example bert_placement
+//! ```
+//!
+//! BERT-Base at sequence length 384 / batch 24 exceeds one GPU and ships with no
+//! model-parallel expert placement. This example compares a balanced contiguous
+//! layer split against placements learned by Post (simple placer, PPO+CE) and by
+//! EAGLE (PPO), mirroring the BERT column of Table IV.
+
+use eagle::core::{
+    train, AgentScale, Algo, EagleAgent, FixedGroupAgent, TrainerConfig,
+};
+use eagle::devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig};
+use eagle::partition::{metis_like::MetisLike, Partitioner};
+use eagle::tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::BertBase.graph_for(&machine);
+    let gib = (1u64 << 30) as f64;
+    println!(
+        "BERT-Base training graph: {} ops, {:.1} GiB total (no expert placement exists)",
+        graph.len(),
+        graph.total_bytes() as f64 / gib
+    );
+    assert!(predefined::human_expert(&graph, &machine).is_none());
+
+    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 3);
+    let split = env
+        .evaluate_final(&predefined::bert_layer_split(&graph, &machine))
+        .expect("layer split fits");
+    println!("contiguous 4-way layer split: {split:.3} s/step");
+
+    let samples = 700;
+    let scale = AgentScale::quick();
+
+    // Post: fixed METIS groups + simple placer, PPO+CE.
+    let k = scale.num_groups.min(graph.len());
+    let group_of = MetisLike::default().partition(&graph, k);
+    let mut post_params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let post =
+        FixedGroupAgent::post(&mut post_params, &graph, &machine, group_of, k, scale, &mut rng);
+    println!("training Post (PPO+CE) for {samples} samples...");
+    let post_result =
+        train(&post, &mut post_params, &mut env, &TrainerConfig::paper(Algo::PpoCe, samples));
+    let post_time = post_result.final_step_time.expect("post finds a valid placement");
+    println!("Post: {post_time:.3} s/step ({} invalid)", post_result.num_invalid);
+
+    // EAGLE with PPO.
+    let mut eagle_params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(22);
+    let agent = EagleAgent::new(&mut eagle_params, &graph, &machine, scale, &mut rng);
+    println!("training EAGLE (PPO) for {samples} samples...");
+    let eagle_result =
+        train(&agent, &mut eagle_params, &mut env, &TrainerConfig::paper(Algo::Ppo, samples));
+    let eagle_time = eagle_result.final_step_time.expect("eagle finds a valid placement");
+    println!(
+        "EAGLE (PPO): {eagle_time:.3} s/step ({} invalid)",
+        eagle_result.num_invalid
+    );
+
+    println!(
+        "\nEAGLE vs Post: {:+.1}% (paper: -18.7%); vs layer split: {:+.1}%",
+        (eagle_time / post_time - 1.0) * 100.0,
+        (eagle_time / split - 1.0) * 100.0
+    );
+}

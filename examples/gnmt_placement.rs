@@ -1,0 +1,77 @@
+//! GNMT model-parallel placement — the paper's motivating medium case.
+//!
+//! ```sh
+//! cargo run --release --example gnmt_placement
+//! ```
+//!
+//! GNMT at batch 256 does not fit a single 16 GB GPU, so placement is mandatory.
+//! This example shows the OOM, measures the human-expert layer-striping placement,
+//! trains EAGLE, and prints a per-device breakdown of the learned placement.
+
+use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainerConfig};
+use eagle::devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig, SimOutcome};
+use eagle::tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::Gnmt.graph_for(&machine);
+    let gib = (1u64 << 30) as f64;
+    println!(
+        "GNMT training graph: {} ops, total memory {:.1} GiB (one P100 holds 16 GiB)",
+        graph.len(),
+        graph.total_bytes() as f64 / gib
+    );
+
+    // Single GPU: must OOM (Table IV's "OOM" entry).
+    match eagle::devsim::simulate(&graph, &machine, &predefined::single_gpu(&graph, &machine)) {
+        SimOutcome::Oom { device, required, capacity } => println!(
+            "single-GPU placement OOMs on {}: needs {:.1} GiB of {:.1} GiB",
+            machine.devices[device.index()].name,
+            required as f64 / gib,
+            capacity as f64 / gib
+        ),
+        SimOutcome::Valid(_) => unreachable!("batch-256 GNMT cannot fit one GPU"),
+    }
+
+    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 2);
+    let expert_placement =
+        predefined::human_expert(&graph, &machine).expect("gnmt has an expert placement");
+    let expert = env.evaluate_final(&expert_placement).expect("expert placement is valid");
+    println!("human expert (layer striping): {expert:.3} s/step");
+
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::quick(), &mut rng);
+    let cfg = TrainerConfig::paper(Algo::Ppo, 900);
+    println!("training EAGLE (PPO) for {} samples...", cfg.total_samples);
+    let result = train(&agent, &mut params, &mut env, &cfg);
+    let best = result.final_step_time.expect("found a valid placement");
+    println!(
+        "EAGLE (PPO): {best:.3} s/step ({:+.1}% vs expert; paper: -17.0%)",
+        (best / expert - 1.0) * 100.0
+    );
+
+    // Per-device breakdown of the learned placement.
+    let placement = result.best_placement.expect("valid placement exists");
+    let mem = placement.memory_per_device(&graph, &machine);
+    if let SimOutcome::Valid(stats) = eagle::devsim::simulate(&graph, &machine, &placement) {
+        println!("\nlearned placement breakdown (step {:.3} s):", stats.step_time);
+        for (i, spec) in machine.devices.iter().enumerate() {
+            let ops = placement.devices().iter().filter(|d| d.index() == i).count();
+            println!(
+                "  {:>7}: {:>5} ops, {:>5.1} GiB resident, busy {:>6.3} s ({:>4.1}% of step)",
+                spec.name,
+                ops,
+                mem[i] as f64 / gib,
+                stats.device_busy[i],
+                100.0 * stats.device_busy[i] / stats.step_time
+            );
+        }
+        println!(
+            "  communication: {} transfers, {:.3} s total on links",
+            stats.num_transfers, stats.comm_time
+        );
+    }
+}

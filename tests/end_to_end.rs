@@ -1,0 +1,120 @@
+//! End-to-end training runs through the public API of the umbrella crate: every
+//! agent kind trains on a calibrated benchmark graph, finds a valid placement, and
+//! behaves deterministically under a fixed seed.
+
+use eagle::core::{
+    train, AgentScale, Algo, EagleAgent, FixedGroupAgent, HpAgent, PlacerKind, TrainerConfig,
+};
+use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle::partition::{metis_like::MetisLike, Partitioner};
+use eagle::tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn inception_env(seed: u64) -> (eagle::opgraph::OpGraph, Machine, Environment) {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), seed);
+    (graph, machine, env)
+}
+
+#[test]
+fn eagle_trains_on_calibrated_inception() {
+    let (graph, machine, mut env) = inception_env(1);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 60));
+    let t = result.final_step_time.expect("valid placement found");
+    // Single GPU is calibrated to 0.071; anything within 3x certifies the agent is
+    // producing sane placements (random scatter costs ~0.3s+).
+    assert!(t < 0.21, "per-step time {t} too far from the single-GPU band");
+    assert_eq!(result.curve.points.len(), 60);
+}
+
+#[test]
+fn hp_trains_and_reports_grouping_actions() {
+    let (graph, machine, mut env) = inception_env(2);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let agent = HpAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+    assert!(result.final_step_time.is_some());
+    assert_eq!(result.samples, 30);
+}
+
+#[test]
+fn post_trains_with_ppo_ce() {
+    let (graph, machine, mut env) = inception_env(3);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let k = AgentScale::tiny().num_groups;
+    let group_of = MetisLike::default().partition(&graph, k);
+    let agent = FixedGroupAgent::post(
+        &mut params,
+        &graph,
+        &machine,
+        group_of,
+        k,
+        AgentScale::tiny(),
+        &mut rng,
+    );
+    let mut cfg = TrainerConfig::paper(Algo::PpoCe, 60);
+    cfg.ce_interval = 20;
+    let result = train(&agent, &mut params, &mut env, &cfg);
+    assert!(result.final_step_time.is_some());
+}
+
+#[test]
+fn fixed_group_agent_with_gcn_placer_trains() {
+    let (graph, machine, mut env) = inception_env(4);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let k = AgentScale::tiny().num_groups;
+    let group_of = MetisLike::default().partition(&graph, k);
+    let agent = FixedGroupAgent::new(
+        &mut params,
+        "gcn",
+        &graph,
+        &machine,
+        group_of,
+        k,
+        PlacerKind::Gcn,
+        AgentScale::tiny(),
+        &mut rng,
+    );
+    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+    assert!(result.final_step_time.is_some());
+}
+
+#[test]
+fn training_is_deterministic_for_fixed_seeds() {
+    let run = || {
+        let (graph, machine, mut env) = inception_env(5);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let agent =
+            EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+        let result =
+            train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+        (
+            result.final_step_time,
+            result.num_invalid,
+            result.curve.points.last().unwrap().wall_clock,
+        )
+    };
+    assert_eq!(run(), run(), "same seeds must reproduce bit-identical runs");
+}
+
+#[test]
+fn eagle_curve_tracks_environment_bookkeeping() {
+    let (graph, machine, mut env) = inception_env(6);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 40));
+    // 40 training evals + 1 final re-measurement.
+    assert_eq!(env.num_evals(), 40);
+    assert!(env.wall_clock() > 0.0);
+    assert_eq!(result.curve.num_invalid(), result.num_invalid);
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the simulator and placement invariants over random DAGs
+//! and random placements.
+
+use eagle::devsim::{DeviceId, Machine, Placement, SimOutcome};
+use eagle::opgraph::{OpGraph, OpKind, OpNode, Phase};
+use proptest::prelude::*;
+
+/// Builds a random DAG: `n` ops, each with edges from up to 3 earlier ops
+/// (guaranteeing acyclicity by construction).
+fn arb_graph() -> impl Strategy<Value = OpGraph> {
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let kinds = [
+            OpKind::Conv2d,
+            OpKind::MatMul,
+            OpKind::Elementwise,
+            OpKind::Softmax,
+            OpKind::Input,
+            OpKind::Concat,
+        ];
+        let mut g = OpGraph::new("random");
+        for i in 0..n {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let id = g.add_node(
+                OpNode::new(format!("op{i}"), kind, Phase::Forward)
+                    .with_flops(rng.gen_range(0.0..1e9))
+                    .with_out_bytes(rng.gen_range(0..4u64 << 20))
+                    .with_act_bytes(rng.gen_range(0..1u64 << 20)),
+            );
+            let preds = rng.gen_range(0..=3usize.min(i));
+            for _ in 0..preds {
+                let p = rng.gen_range(0..i);
+                g.add_edge(eagle::opgraph::OpId(p as u32), id);
+            }
+        }
+        g
+    })
+}
+
+fn arb_placement(n: usize) -> impl Strategy<Value = Placement> {
+    proptest::collection::vec(0u8..5, n).prop_map(|v| {
+        Placement::new(v.into_iter().map(DeviceId).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn makespan_bounds_hold((g, p) in arb_graph().prop_flat_map(|g| {
+        let n = g.len();
+        (Just(g), arb_placement(n))
+    })) {
+        let m = Machine::paper_machine();
+        match eagle::devsim::simulate(&g, &m, &p) {
+            SimOutcome::Valid(stats) => {
+                // Makespan at least the busiest device's compute time.
+                let busiest = stats.device_busy.iter().cloned().fold(0.0, f64::max);
+                prop_assert!(stats.step_time + 1e-12 >= busiest);
+                // Makespan at least any single op's execution time.
+                for id in g.ids() {
+                    let node = g.node(id);
+                    let t = m.exec_time(node.kind, node.flops, p.device(id));
+                    prop_assert!(stats.step_time + 1e-12 >= t);
+                }
+                // Comm accounting consistent with transfer count.
+                if stats.num_transfers == 0 {
+                    prop_assert!(stats.comm_time == 0.0);
+                } else {
+                    prop_assert!(stats.comm_time > 0.0);
+                }
+            }
+            SimOutcome::Oom { device, required, capacity } => {
+                prop_assert!(required > capacity);
+                let mem = p.memory_per_device(&g, &m);
+                prop_assert_eq!(mem[device.index()], required);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_partitions_total(g in arb_graph(), devs in proptest::collection::vec(0u8..5, 0..40)) {
+        let m = Machine::paper_machine();
+        let n = g.len();
+        let p = Placement::new((0..n).map(|i| DeviceId(devs.get(i).copied().unwrap_or(1))).collect());
+        let mem = p.memory_per_device(&g, &m);
+        let total: u64 = mem.iter().sum();
+        prop_assert_eq!(total, g.total_bytes());
+    }
+
+    #[test]
+    fn colocated_placement_beats_or_equals_scatter_on_chains(n in 3usize..20, flops in 1e6f64..1e9) {
+        // On a pure chain with non-trivial tensors, any placement that scatters
+        // ops across devices pays transfers a single-device placement avoids.
+        let mut g = OpGraph::new("chain");
+        let mut prev = None;
+        for i in 0..n {
+            let id = g.add_node(
+                OpNode::new(format!("c{i}"), OpKind::MatMul, Phase::Forward)
+                    .with_flops(flops)
+                    .with_out_bytes(1 << 20),
+            );
+            if let Some(p) = prev {
+                g.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let m = Machine::paper_machine();
+        let gpu = m.gpu_ids()[0];
+        let together = eagle::devsim::simulate(&g, &m, &Placement::uniform(n, gpu))
+            .step_time()
+            .unwrap();
+        let gpus = m.gpu_ids();
+        let scattered = Placement::new((0..n).map(|i| gpus[i % gpus.len()]).collect());
+        let apart = eagle::devsim::simulate(&g, &m, &scattered).step_time().unwrap();
+        prop_assert!(apart >= together);
+    }
+
+    #[test]
+    fn group_decode_is_consistent(n in 1usize..50, k in 1usize..8) {
+        // Placement::from_groups assigns exactly group_devices[group_of[i]].
+        let group_of: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let group_devices: Vec<DeviceId> = (0..k).map(|g| DeviceId((g % 5) as u8)).collect();
+        let p = Placement::from_groups(&group_of, &group_devices);
+        for i in 0..n {
+            prop_assert_eq!(p.devices()[i], group_devices[group_of[i]]);
+        }
+    }
+}
