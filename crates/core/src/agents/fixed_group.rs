@@ -52,7 +52,7 @@ pub struct FixedGroupAgent {
     name: String,
     group_of: Vec<usize>,
     emb: Tensor,
-    placer: Box<dyn Placer + Send>,
+    placer: Box<dyn Placer + Send + Sync>,
     devices: Vec<DeviceId>,
     num_groups: usize,
 }
@@ -60,6 +60,7 @@ pub struct FixedGroupAgent {
 impl FixedGroupAgent {
     /// Builds the agent. `group_of` assigns each op of `graph` to one of `k`
     /// groups (from a heuristic partitioner or any other source).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         params: &mut Params,
         name: impl Into<String>,
@@ -79,7 +80,7 @@ impl FixedGroupAgent {
         let devices = super::device_table(machine);
         let nd = devices.len();
         let pname = format!("{name}/placer");
-        let placer: Box<dyn Placer + Send> = match kind {
+        let placer: Box<dyn Placer + Send + Sync> = match kind {
             PlacerKind::Seq2SeqBefore => Box::new(Seq2SeqPlacer::new(
                 params,
                 &pname,

@@ -16,6 +16,24 @@ pub struct CurvePoint {
     pub best_so_far: Option<f64>,
 }
 
+/// Throughput counters of the rollout engine for one training run.
+///
+/// `episodes_per_sec` is real (host) time and thus machine-dependent; the
+/// remaining counters are deterministic for a fixed seed and worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RolloutStats {
+    /// Episodes (placement evaluations) completed per second of host time.
+    pub episodes_per_sec: f64,
+    /// Evaluations answered from the placement cache.
+    pub cache_hits: u64,
+    /// Evaluations that ran the simulator.
+    pub cache_misses: u64,
+    /// Fraction of evaluations answered from the cache.
+    pub cache_hit_rate: f64,
+    /// Worker threads the rollout engine ran with (resolved, never 0).
+    pub workers: usize,
+}
+
 /// A labeled training curve.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Curve {
@@ -23,12 +41,16 @@ pub struct Curve {
     pub label: String,
     /// Points in sampling order.
     pub points: Vec<CurvePoint>,
+    /// Rollout-engine throughput counters, when the producing trainer recorded
+    /// them. Excluded from curve equality in tests: `episodes_per_sec` is host
+    /// time, not simulated time.
+    pub rollout: Option<RolloutStats>,
 }
 
 impl Curve {
     /// Creates an empty curve.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self { label: label.into(), points: Vec::new(), rollout: None }
     }
 
     /// Appends a measurement, maintaining `best_so_far`.

@@ -31,6 +31,6 @@ mod scale;
 mod trainer;
 
 pub use agents::{EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent, PlacerKind};
-pub use curve::{Curve, CurvePoint};
+pub use curve::{Curve, CurvePoint, RolloutStats};
 pub use scale::AgentScale;
 pub use trainer::{train, Algo, TrainResult, TrainerConfig};

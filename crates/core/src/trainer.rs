@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::agents::PlacementAgent;
-use crate::curve::Curve;
+use crate::curve::{Curve, RolloutStats};
 
 /// Which training algorithm drives the agent (paper Sec. III-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,11 @@ pub struct TrainerConfig {
     pub seed: u64,
     /// The algorithm.
     pub algo: Algo,
+    /// Worker threads for the rollout engine (0 = one per available core,
+    /// 1 = fully serial). The trained policy, curve and best placement are
+    /// identical for every value — only host wall-time changes (see DESIGN.md,
+    /// "Parallel rollout engine").
+    pub workers: usize,
 }
 
 impl TrainerConfig {
@@ -93,6 +98,7 @@ impl TrainerConfig {
             normalize_adv: true,
             seed: 7,
             algo,
+            workers: 0,
         }
     }
 }
@@ -111,16 +117,26 @@ pub struct TrainResult {
     pub num_invalid: usize,
     /// Total samples drawn.
     pub samples: usize,
+    /// Rollout-engine throughput counters (also attached to `curve`).
+    pub rollout: RolloutStats,
 }
 
 /// Runs the full training loop of `agent` against `env`.
+///
+/// Sampling stays serial and seeded, so the action sequences — and therefore
+/// the curve, the trained policy and the best placement — are bit-identical
+/// for every `cfg.workers` value. Only the pure parts of each episode
+/// (`agent.decode` and the placement simulation) fan out across threads.
 pub fn train(
-    agent: &impl PlacementAgent,
+    agent: &(impl PlacementAgent + Sync),
     params: &mut Params,
     env: &mut Environment,
     cfg: &TrainerConfig,
 ) -> TrainResult {
     assert!(cfg.minibatch > 0, "minibatch must be positive");
+    let host_start = std::time::Instant::now();
+    let cache_start = env.cache_stats();
+    let workers = eagle_devsim::resolve_workers(cfg.workers);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut baseline = EmaBaseline::new(cfg.ema_alpha);
     let mut curve = Curve::new(agent.name());
@@ -140,16 +156,52 @@ pub fn train(
 
     while samples < cfg.total_samples {
         let batch_size = cfg.minibatch.min(cfg.total_samples - samples);
+
+        // Phase A (serial, seeded): draw the minibatch's action sequences.
+        // This is the only consumer of the trainer RNG, so batching preserves
+        // the exact serial action stream.
+        let drawn: Vec<_> = (0..batch_size).map(|_| agent.sample(params, &mut rng)).collect();
+
+        // Phase B (parallel): decode actions into placements — a pure forward
+        // pass through the frozen placer, safe to fan out.
+        let placements: Vec<Placement> = if workers > 1 && batch_size > 1 {
+            let params_ref: &Params = params;
+            let mut out: Vec<Option<Placement>> = vec![None; batch_size];
+            let chunk = batch_size.div_ceil(workers);
+            crossbeam::thread::scope(|s| {
+                for (acts, slots) in drawn.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move |_| {
+                        for ((actions, _), slot) in acts.iter().zip(slots.iter_mut()) {
+                            *slot = Some(agent.decode(params_ref, actions));
+                        }
+                    });
+                }
+            })
+            .expect("decode worker panicked");
+            out.into_iter().map(|p| p.expect("every action sequence decoded")).collect()
+        } else {
+            drawn.iter().map(|(actions, _)| agent.decode(params, actions)).collect()
+        };
+
+        // Phase C: evaluate the minibatch (cache probes and noise serial,
+        // cache-miss simulations parallel — see `Environment::evaluate_batch`).
+        let wall_before = env.wall_clock();
+        let measurements = env.evaluate_batch(&placements, workers);
+        // Rebuild the per-episode wall-clock by accumulating costs in episode
+        // order — the same float additions the serial loop performs, so curve
+        // x-values are bit-identical.
+        let mut wall = wall_before;
+
+        // Phase D (serial): rewards, baseline, curve — in episode order.
         let mut batch: Vec<TrainSample> = Vec::with_capacity(batch_size);
-        for _ in 0..batch_size {
-            let (actions, old_log_prob) = agent.sample(params, &mut rng);
-            let placement = agent.decode(params, &actions);
-            let meas = env.evaluate(&placement);
+        for (((actions, old_log_prob), placement), meas) in
+            drawn.into_iter().zip(&placements).zip(&measurements)
+        {
             samples += 1;
             since_ce += 1;
             let reward = match meas.step_time {
                 Some(t) => {
-                    if best.as_ref().map_or(true, |(b, _)| t < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| t < *b) {
                         best = Some((t, placement.clone()));
                     }
                     cfg.reward.apply(t)
@@ -159,7 +211,8 @@ pub fn train(
                     cfg.reward.apply(cfg.invalid_penalty_time)
                 }
             };
-            curve.push(samples as u64, env.wall_clock(), meas.step_time);
+            wall += meas.wall_cost;
+            curve.push(samples as u64, wall, meas.step_time);
             let advantage = if cfg.use_baseline {
                 baseline.advantage(reward) as f32
             } else {
@@ -213,7 +266,18 @@ pub fn train(
         None => (None, None),
     };
 
-    TrainResult { best_placement, final_step_time, curve, num_invalid, samples }
+    let cache = env.cache_stats().since(&cache_start);
+    let elapsed = host_start.elapsed().as_secs_f64();
+    let rollout = RolloutStats {
+        episodes_per_sec: if elapsed > 0.0 { samples as f64 / elapsed } else { 0.0 },
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_hit_rate: cache.hit_rate(),
+        workers,
+    };
+    curve.rollout = Some(rollout);
+
+    TrainResult { best_placement, final_step_time, curve, num_invalid, samples, rollout }
 }
 
 #[cfg(test)]

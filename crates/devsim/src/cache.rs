@@ -1,0 +1,217 @@
+//! Memoization of placement evaluations.
+//!
+//! Policy-gradient training re-proposes the same device assignment many times as
+//! the policy converges, and each proposal costs a full discrete-event
+//! simulation. The cache keys on the exact device-assignment bytes and stores
+//! the *noiseless* outcome of the pure simulation step — the base step time, or
+//! the OOM verdict — so repeated proposals skip the simulator and only re-draw
+//! the cheap measurement noise (see `Environment::evaluate`).
+//!
+//! Eviction is strict FIFO (insertion order), not LRU, on purpose: hits do not
+//! reorder entries, so the cache state after a sequence of evaluations is
+//! independent of whether they were issued one-by-one or as a batch. That
+//! property is what makes `Environment::evaluate_batch` bit-identical to a
+//! serial evaluation loop for every worker count.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::placement::Placement;
+
+/// Cached outcome of the pure (noise-free) simulation of one placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaseEval {
+    /// The placement does not fit: some device exceeds its memory capacity.
+    Invalid,
+    /// The placement runs; noiseless per-step time in seconds.
+    Valid {
+        /// Simulated makespan of one training step.
+        step_time: f64,
+    },
+}
+
+impl BaseEval {
+    /// True when the placement fits in memory.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, BaseEval::Valid { .. })
+    }
+
+    /// The noiseless step time, if valid.
+    pub fn step_time(&self) -> Option<f64> {
+        match self {
+            BaseEval::Valid { step_time } => Some(*step_time),
+            BaseEval::Invalid => None,
+        }
+    }
+}
+
+/// Hit/miss counters of a [`PlacementCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that ran the simulator.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of evaluations answered from the cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A bounded FIFO map from device assignments to their simulation outcome.
+#[derive(Debug, Clone)]
+pub struct PlacementCache {
+    capacity: usize,
+    map: HashMap<Box<[u8]>, BaseEval>,
+    order: VecDeque<Box<[u8]>>,
+    stats: CacheStats,
+}
+
+fn key_of(placement: &Placement) -> Box<[u8]> {
+    placement.devices().iter().map(|d| d.0).collect()
+}
+
+impl PlacementCache {
+    /// Creates a cache holding at most `capacity` placements; 0 disables it.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// True when the cache stores anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of cached placements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks a placement up, counting the outcome as a hit or a miss.
+    pub fn lookup(&mut self, placement: &Placement) -> Option<BaseEval> {
+        if !self.enabled() {
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.map.get(key_of(placement).as_ref()) {
+            Some(&base) => {
+                self.stats.hits += 1;
+                Some(base)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Counts a hit that was answered outside the map (in-batch deduplication
+    /// against an episode earlier in the same minibatch).
+    pub(crate) fn note_duplicate_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Stores an outcome, evicting the oldest entry when full. No-op when
+    /// disabled or the key is already present.
+    pub fn insert(&mut self, placement: &Placement, base: BaseEval) {
+        if !self.enabled() {
+            return;
+        }
+        let key = key_of(placement);
+        if self.map.contains_key(key.as_ref()) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(oldest.as_ref());
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+
+    fn p(devs: &[u8]) -> Placement {
+        Placement::new(devs.iter().map(|&d| DeviceId(d)).collect())
+    }
+
+    #[test]
+    fn lookup_counts_and_returns() {
+        let mut c = PlacementCache::new(8);
+        assert_eq!(c.lookup(&p(&[0, 1])), None);
+        c.insert(&p(&[0, 1]), BaseEval::Valid { step_time: 2.0 });
+        assert_eq!(
+            c.lookup(&p(&[0, 1])),
+            Some(BaseEval::Valid { step_time: 2.0 })
+        );
+        assert_eq!(c.lookup(&p(&[1, 0])), None);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 2 });
+        assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_is_hit_order_independent() {
+        let mut c = PlacementCache::new(2);
+        c.insert(&p(&[0]), BaseEval::Invalid);
+        c.insert(&p(&[1]), BaseEval::Valid { step_time: 1.0 });
+        // A hit on the oldest entry must NOT protect it from eviction.
+        assert!(c.lookup(&p(&[0])).is_some());
+        c.insert(&p(&[2]), BaseEval::Valid { step_time: 2.0 });
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&p(&[0])), None, "oldest evicted despite recent hit");
+        assert!(c.lookup(&p(&[1])).is_some());
+        assert!(c.lookup(&p(&[2])).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = PlacementCache::new(0);
+        c.insert(&p(&[0]), BaseEval::Invalid);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(&p(&[0])), None);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut c = PlacementCache::new(4);
+        c.insert(&p(&[3, 3]), BaseEval::Invalid);
+        c.insert(&p(&[3, 3]), BaseEval::Invalid);
+        assert_eq!(c.len(), 1);
+    }
+}

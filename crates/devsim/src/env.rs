@@ -14,9 +14,13 @@ use eagle_opgraph::OpGraph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::cache::{BaseEval, CacheStats, PlacementCache};
 use crate::device::Machine;
 use crate::placement::Placement;
 use crate::sim::{simulate, SimOutcome};
+
+/// Default bound on the number of memoized placements per environment.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Measurement-protocol knobs.
 #[derive(Debug, Clone)]
@@ -82,10 +86,12 @@ pub struct Environment {
     evals: u64,
     wall_clock: f64,
     best: Option<(f64, Placement)>,
+    cache: PlacementCache,
 }
 
 impl Environment {
-    /// Creates an environment with a seeded noise source.
+    /// Creates an environment with a seeded noise source and a default-sized
+    /// placement cache (see [`DEFAULT_CACHE_CAPACITY`]).
     pub fn new(graph: OpGraph, machine: Machine, cfg: MeasureConfig, seed: u64) -> Self {
         Self {
             graph,
@@ -95,7 +101,20 @@ impl Environment {
             evals: 0,
             wall_clock: 0.0,
             best: None,
+            cache: PlacementCache::new(DEFAULT_CACHE_CAPACITY),
         }
+    }
+
+    /// Replaces the placement cache with one of the given capacity
+    /// (0 disables memoization entirely).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = PlacementCache::new(capacity);
+        self
+    }
+
+    /// Hit/miss counters of the placement cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The graph being placed.
@@ -143,27 +162,161 @@ impl Environment {
         acc / steps as f64
     }
 
-    /// Measures a placement with the training-time protocol (15 steps, discard 5).
-    pub fn evaluate(&mut self, placement: &Placement) -> Measurement {
-        self.evals += 1;
+    /// The pure simulation step: noiseless, no RNG, no accounting. Takes
+    /// `&self`, so it is safe to call concurrently from many threads — this is
+    /// the piece [`Environment::evaluate_batch`] fans out.
+    pub fn simulate_base(&self, placement: &Placement) -> BaseEval {
         match simulate(&self.graph, &self.machine, placement) {
-            SimOutcome::Oom { .. } => {
-                self.wall_clock += self.cfg.oom_cost;
-                Measurement { step_time: None, wall_cost: self.cfg.oom_cost }
-            }
-            SimOutcome::Valid(stats) => {
-                let measured_steps = self.cfg.train_steps - self.cfg.warmup_steps;
-                let mean = self.noisy_mean(stats.step_time, measured_steps);
-                let wall = self.staging_cost()
-                    + self.cfg.warmup_steps as f64 * stats.step_time * self.cfg.warmup_factor
-                    + measured_steps as f64 * stats.step_time;
+            SimOutcome::Oom { .. } => BaseEval::Invalid,
+            SimOutcome::Valid(stats) => BaseEval::Valid { step_time: stats.step_time },
+        }
+    }
+
+    /// The serial accounting step: draws measurement noise, charges the
+    /// simulated wall-clock and updates `best`/`num_evals`. Must run in episode
+    /// order — it is the only consumer of the environment's RNG stream.
+    ///
+    /// A cached evaluation re-runs only the measured steps on the already
+    /// staged session: no session setup, no parameter staging, no warm-up. A
+    /// cached OOM costs nothing (the crash is remembered, not reproduced).
+    fn commit(&mut self, placement: &Placement, base: BaseEval, cached: bool) -> Measurement {
+        self.evals += 1;
+        match base {
+            BaseEval::Invalid => {
+                let wall = if cached { 0.0 } else { self.cfg.oom_cost };
                 self.wall_clock += wall;
-                if self.best.as_ref().map_or(true, |(b, _)| mean < *b) {
+                Measurement { step_time: None, wall_cost: wall }
+            }
+            BaseEval::Valid { step_time } => {
+                let measured_steps = self.cfg.train_steps - self.cfg.warmup_steps;
+                let mean = self.noisy_mean(step_time, measured_steps);
+                let wall = if cached {
+                    measured_steps as f64 * step_time
+                } else {
+                    self.staging_cost()
+                        + self.cfg.warmup_steps as f64 * step_time * self.cfg.warmup_factor
+                        + measured_steps as f64 * step_time
+                };
+                self.wall_clock += wall;
+                if self.best.as_ref().is_none_or(|(b, _)| mean < *b) {
                     self.best = Some((mean, placement.clone()));
                 }
                 Measurement { step_time: Some(mean), wall_cost: wall }
             }
         }
+    }
+
+    /// Measures a placement with the training-time protocol (15 steps, discard 5).
+    ///
+    /// Previously seen placements are answered from the cache: the simulator is
+    /// skipped, fresh noise is drawn over the cached base step time, and only
+    /// the re-measured steps are charged to the wall-clock. The noise stream is
+    /// consumed identically on hits and misses, so enabling the cache changes
+    /// wall-clock charges but never the measured values.
+    pub fn evaluate(&mut self, placement: &Placement) -> Measurement {
+        match self.cache.lookup(placement) {
+            Some(base) => self.commit(placement, base, true),
+            None => {
+                let base = self.simulate_base(placement);
+                self.cache.insert(placement, base);
+                self.commit(placement, base, false)
+            }
+        }
+    }
+
+    /// Evaluates a minibatch, fanning the pure simulations out over `workers`
+    /// threads (0 = one per available core, 1 = fully serial).
+    ///
+    /// Bit-for-bit identical to calling [`Environment::evaluate`] on each
+    /// placement in order, for every worker count: cache probes and noise
+    /// draws stay serial in episode order; only the cache-miss simulations —
+    /// pure functions of `(graph, machine, placement)` — run concurrently.
+    pub fn evaluate_batch(&mut self, placements: &[Placement], workers: usize) -> Vec<Measurement> {
+        let workers = resolve_workers(workers);
+
+        // Phase 1 (serial): probe the cache in episode order. Duplicates of an
+        // earlier in-batch miss count as hits, exactly as they would when
+        // evaluated one-by-one (the first occurrence would have been inserted).
+        enum Probe {
+            Hit(BaseEval),
+            Dup(usize),
+            Miss,
+        }
+        let mut probes: Vec<Probe> = Vec::with_capacity(placements.len());
+        let mut first_occurrence: std::collections::HashMap<&[crate::device::DeviceId], usize> =
+            std::collections::HashMap::new();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, p) in placements.iter().enumerate() {
+            let key = p.devices();
+            if self.cache.enabled() {
+                if let Some(&j) = first_occurrence.get(key) {
+                    self.cache.note_duplicate_hit();
+                    probes.push(Probe::Dup(j));
+                    continue;
+                }
+            }
+            match self.cache.lookup(p) {
+                Some(base) => probes.push(Probe::Hit(base)),
+                None => {
+                    probes.push(Probe::Miss);
+                    first_occurrence.insert(key, i);
+                    miss_idx.push(i);
+                }
+            }
+        }
+
+        // Phase 2 (parallel): simulate the misses. Each worker owns a disjoint
+        // chunk of the miss list; results are scattered back by index.
+        let mut bases: Vec<Option<BaseEval>> = vec![None; placements.len()];
+        if workers > 1 && miss_idx.len() > 1 {
+            let env = &*self;
+            let chunk = miss_idx.len().div_ceil(workers);
+            let simulated: Vec<Vec<(usize, BaseEval)>> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = miss_idx
+                    .chunks(chunk)
+                    .map(|ids| {
+                        s.spawn(move |_| {
+                            ids.iter()
+                                .map(|&i| (i, env.simulate_base(&placements[i])))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker panicked"))
+                    .collect()
+            })
+            .expect("rollout worker panicked");
+            for (i, base) in simulated.into_iter().flatten() {
+                bases[i] = Some(base);
+            }
+        } else {
+            for &i in &miss_idx {
+                bases[i] = Some(self.simulate_base(&placements[i]));
+            }
+        }
+
+        // Phase 3 (serial): commit in episode order — noise draws, wall-clock,
+        // best tracking and cache inserts all happen exactly as they would in
+        // a one-by-one evaluation loop.
+        placements
+            .iter()
+            .zip(&probes)
+            .enumerate()
+            .map(|(i, (p, probe))| match probe {
+                Probe::Hit(base) => self.commit(p, *base, true),
+                Probe::Dup(j) => {
+                    let base = bases[*j].expect("first occurrence simulated");
+                    self.commit(p, base, true)
+                }
+                Probe::Miss => {
+                    let base = bases[i].expect("miss simulated");
+                    self.cache.insert(p, base);
+                    self.commit(p, base, false)
+                }
+            })
+            .collect()
     }
 
     /// Measures a placement with the final protocol (1,000 steps): noise averages
@@ -184,10 +337,18 @@ impl Environment {
     }
 }
 
+/// Resolves a requested worker count: 0 means one per available core.
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceId;
     use eagle_opgraph::{OpKind, OpNode, Phase};
 
     fn tiny_graph() -> OpGraph {
@@ -256,6 +417,48 @@ mod tests {
         let b2 = env.best().unwrap().0;
         assert!(b2 < b1);
         assert_eq!(env.best().unwrap().1, fast);
+    }
+
+    #[test]
+    fn batch_matches_serial_for_any_worker_count() {
+        let m = Machine::paper_machine();
+        // A batch with duplicates, an OOM placement and distinct valid ones.
+        let mut g = tiny_graph();
+        g.node_mut(eagle_opgraph::OpId(0)).act_bytes = 20 << 30;
+        let batch = vec![
+            Placement::uniform(2, m.gpu_ids()[0]),
+            Placement::uniform(2, m.cpu_id()),
+            Placement::uniform(2, m.gpu_ids()[0]),
+            Placement::uniform(2, m.gpu_ids()[1]),
+            Placement::uniform(2, m.cpu_id()),
+        ];
+        let mut serial = Environment::new(g.clone(), m.clone(), MeasureConfig::default(), 11);
+        let expect: Vec<Measurement> = batch.iter().map(|p| serial.evaluate(p)).collect();
+        for workers in [1usize, 2, 4, 0] {
+            let mut env = Environment::new(g.clone(), m.clone(), MeasureConfig::default(), 11);
+            let got = env.evaluate_batch(&batch, workers);
+            assert_eq!(got, expect, "workers={workers}");
+            assert_eq!(env.wall_clock(), serial.wall_clock(), "workers={workers}");
+            assert_eq!(env.num_evals(), serial.num_evals());
+            assert_eq!(env.cache_stats(), serial.cache_stats(), "workers={workers}");
+            assert_eq!(env.best().unwrap().1, serial.best().unwrap().1);
+        }
+    }
+
+    #[test]
+    fn cache_hits_cost_less_wall_clock_but_same_values() {
+        let m = Machine::paper_machine();
+        let p = Placement::uniform(2, m.gpu_ids()[0]);
+        let mut with = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 5);
+        let mut without = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 5)
+            .with_cache_capacity(0);
+        let (a1, b1) = (with.evaluate(&p), without.evaluate(&p));
+        let (a2, b2) = (with.evaluate(&p), without.evaluate(&p));
+        assert_eq!(a1.step_time, b1.step_time);
+        assert_eq!(a2.step_time, b2.step_time, "cache never changes measured values");
+        assert!(a2.wall_cost < b2.wall_cost, "hit skips staging and warm-up");
+        assert_eq!(with.cache_stats().hits, 1);
+        assert_eq!(without.cache_stats().hits, 0);
     }
 
     #[test]

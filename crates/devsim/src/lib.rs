@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod benchmarks;
+mod cache;
 mod device;
 mod env;
 mod placement;
@@ -30,7 +31,8 @@ mod sim;
 pub mod trace;
 
 pub use benchmarks::{calibrate, Benchmark, PaperNumbers};
+pub use cache::{BaseEval, CacheStats, PlacementCache};
 pub use device::{efficiency, DeviceId, DeviceKind, DeviceSpec, Machine};
-pub use env::{Environment, MeasureConfig, Measurement};
+pub use env::{resolve_workers, Environment, MeasureConfig, Measurement, DEFAULT_CACHE_CAPACITY};
 pub use placement::Placement;
 pub use sim::{simulate, SimOutcome, StepStats};

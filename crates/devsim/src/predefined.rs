@@ -104,7 +104,7 @@ fn gnmt_expert(graph: &OpGraph, machine: &Machine) -> Placement {
 pub fn bert_layer_split(graph: &OpGraph, machine: &Machine) -> Placement {
     let gpus = machine.gpu_ids();
     let cpu = machine.cpu_id();
-    let per_gpu = (12 + gpus.len() - 1) / gpus.len();
+    let per_gpu = 12_usize.div_ceil(gpus.len());
     Placement::new(
         graph
             .ids()

@@ -104,8 +104,8 @@ pub fn simulate(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Si
     let mut makespan = 0.0f64;
 
     let mut ready: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-    for i in 0..n {
-        if in_remaining[i] == 0 {
+    for (i, &deps) in in_remaining.iter().enumerate() {
+        if deps == 0 {
             ready.push(Reverse((Time(0.0), i as u32)));
         }
     }

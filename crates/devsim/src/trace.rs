@@ -70,8 +70,8 @@ pub fn trace(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Optio
     let mut dev_free = vec![0.0f64; nd];
     let mut link_free = vec![0.0f64; nd * nd];
     let mut ready: BinaryHeap<Reverse<(T, u32)>> = BinaryHeap::new();
-    for i in 0..n {
-        if in_remaining[i] == 0 {
+    for (i, &deps) in in_remaining.iter().enumerate() {
+        if deps == 0 {
             ready.push(Reverse((T(0.0), i as u32)));
         }
     }
@@ -120,48 +120,39 @@ impl StepTrace {
     /// Exports the schedule in Chrome trace-event format (load in
     /// `chrome://tracing` or Perfetto). Times are emitted in microseconds.
     pub fn to_chrome_trace(&self, machine: &Machine) -> String {
-        #[derive(Serialize)]
-        struct Event<'a> {
-            name: &'a str,
-            cat: &'a str,
-            ph: &'a str,
-            ts: f64,
-            dur: f64,
-            pid: u32,
-            tid: u32,
-        }
-        let events: Vec<Event> = self
+        use serde_json::Value;
+        let obj = |entries: Vec<(&str, Value)>| {
+            Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        let mut events: Vec<Value> = self
             .ops
             .iter()
-            .map(|op| Event {
-                name: &op.name,
-                cat: "op",
-                ph: "X",
-                ts: op.start * 1e6,
-                dur: (op.finish - op.start) * 1e6,
-                pid: 0,
-                tid: op.device as u32,
+            .map(|op| {
+                obj(vec![
+                    ("name", Value::from(op.name.as_str())),
+                    ("cat", Value::from("op")),
+                    ("ph", Value::from("X")),
+                    ("ts", Value::from(op.start * 1e6)),
+                    ("dur", Value::from((op.finish - op.start) * 1e6)),
+                    ("pid", Value::U64(0)),
+                    ("tid", Value::U64(op.device as u64)),
+                ])
             })
             .collect();
-        let mut doc = serde_json::json!({
-            "traceEvents": events,
-            "displayTimeUnit": "ms",
-        });
         // Thread names = device names.
-        let meta: Vec<serde_json::Value> = machine
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                serde_json::json!({
-                    "name": "thread_name", "ph": "M", "pid": 0, "tid": i,
-                    "args": {"name": d.name}
-                })
-            })
-            .collect();
-        if let Some(arr) = doc["traceEvents"].as_array_mut() {
-            arr.extend(meta);
-        }
+        events.extend(machine.devices.iter().enumerate().map(|(i, d)| {
+            obj(vec![
+                ("name", Value::from("thread_name")),
+                ("ph", Value::from("M")),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(i as u64)),
+                ("args", obj(vec![("name", Value::from(d.name.as_str()))])),
+            ])
+        }));
+        let doc = obj(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", Value::from("ms")),
+        ]);
         serde_json::to_string(&doc).expect("trace serializes")
     }
 

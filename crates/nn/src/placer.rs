@@ -106,6 +106,7 @@ pub struct Seq2SeqPlacer {
 impl Seq2SeqPlacer {
     /// Registers all parameters. `hidden` is the LSTM size (512 in the paper;
     /// smaller for quick experiments), `attn_dim` the attention space.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         params: &mut Params,
         name: &str,

@@ -95,11 +95,10 @@ fn coarsen_once(w: &WeightedGraph, rng: &mut ChaCha8Rng) -> (WeightedGraph, Vec<
         // Heaviest unmatched neighbor.
         let mut best: Option<(usize, f64)> = None;
         for &(u, ew) in &w.adj[v] {
-            if matched[u] == usize::MAX && u != v {
-                if best.map_or(true, |(_, bw)| ew > bw) {
+            if matched[u] == usize::MAX && u != v
+                && best.is_none_or(|(_, bw)| ew > bw) {
                     best = Some((u, ew));
                 }
-            }
         }
         let c = next_coarse;
         next_coarse += 1;
@@ -175,12 +174,12 @@ fn initial_partition(
         }
     }
     // Unreached vertices (disconnected or capped out): lightest group.
-    for v in 0..n {
-        if assign[v] == usize::MAX {
+    for (v, a) in assign.iter_mut().enumerate() {
+        if *a == usize::MAX {
             let g = (0..k)
-                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .min_by(|&x, &y| loads[x].total_cmp(&loads[y]))
                 .expect("k >= 1");
-            assign[v] = g;
+            *a = g;
             loads[g] += w.node_weight[v];
         }
     }
@@ -216,15 +215,20 @@ fn refine(
                 *conn.entry(assign[u]).or_insert(0.0) += ew;
             }
             let internal = conn.get(&from).copied().unwrap_or(0.0);
+            // Iterate groups in index order: HashMap order is randomized per
+            // process, and equal-gain ties must break the same way every run
+            // for a fixed seed to give a fixed partition.
+            let mut groups: Vec<(usize, f64)> = conn.iter().map(|(&g, &c)| (g, c)).collect();
+            groups.sort_unstable_by_key(|&(g, _)| g);
             let mut best: Option<(usize, f64)> = None;
-            for (&g, &c) in &conn {
+            for (g, c) in groups {
                 if g == from {
                     continue;
                 }
                 let gain = c - internal;
                 if gain > 1e-12
                     && loads[g] + w.node_weight[v] <= cap
-                    && best.map_or(true, |(_, bg)| gain > bg)
+                    && best.is_none_or(|(_, bg)| gain > bg)
                 {
                     best = Some((g, gain));
                 }

@@ -7,9 +7,19 @@
 
 use std::fmt;
 
-/// Threshold (in output elements) above which [`Tensor::matmul`] shards the
-/// computation across threads.
-const PAR_MATMUL_THRESHOLD: usize = 64 * 64;
+/// Threshold (in multiply-adds, `m * n * k`) above which [`Tensor::matmul`]
+/// shards the computation across threads. Counting flops rather than output
+/// elements keeps skinny products with a large inner dimension (e.g. `64x1024
+/// @ 1024x8`) on the parallel path and tiny-`k` products off it, where thread
+/// spawn overhead would dominate.
+const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Worker threads available for sharded matmuls, queried once per process.
+fn matmul_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
 
 /// A dense matrix of `f32` values in row-major order.
 #[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -285,11 +295,8 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Self::zeros(m, n);
-        if m * n >= PAR_MATMUL_THRESHOLD && m >= 2 {
-            let threads = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(m);
+        if m * n * k >= PAR_MATMUL_THRESHOLD && m >= 2 {
+            let threads = matmul_threads().min(m);
             let chunk_rows = m.div_ceil(threads);
             let a = &self.data;
             let b = &other.data;

@@ -118,6 +118,38 @@ proptest! {
     }
 
     #[test]
+    fn cached_and_uncached_evaluation_agree((g, p) in arb_graph().prop_flat_map(|g| {
+        let n = g.len();
+        (Just(g), arb_placement(n))
+    }), seed in any::<u64>()) {
+        use eagle::devsim::{Environment, MeasureConfig};
+        let m = Machine::paper_machine();
+        // Noise-free protocol isolates what the cache stores: the OOM verdict
+        // and the noiseless step time must be identical with and without it.
+        let cfg = MeasureConfig {
+            noise_sigma: 0.0,
+            ..MeasureConfig::default()
+        };
+        let mut cached = Environment::new(g.clone(), m.clone(), cfg.clone(), seed);
+        let mut uncached =
+            Environment::new(g.clone(), m.clone(), cfg, seed).with_cache_capacity(0);
+        // Evaluate twice: the second cached evaluation is a guaranteed hit.
+        for round in 0..2 {
+            let a = cached.evaluate(&p);
+            let b = uncached.evaluate(&p);
+            prop_assert_eq!(a.step_time.is_some(), b.step_time.is_some(),
+                "round {}: validity must not depend on the cache", round);
+            prop_assert_eq!(a.step_time, b.step_time,
+                "round {}: noiseless step time must not depend on the cache", round);
+        }
+        prop_assert_eq!(cached.cache_stats().hits, 1);
+        prop_assert_eq!(uncached.cache_stats().hits, 0);
+        // And the pure simulation agrees with what the hit returned.
+        let base = cached.simulate_base(&p);
+        prop_assert_eq!(base.step_time(), cached.evaluate(&p).step_time);
+    }
+
+    #[test]
     fn group_decode_is_consistent(n in 1usize..50, k in 1usize..8) {
         // Placement::from_groups assigns exactly group_devices[group_of[i]].
         let group_of: Vec<usize> = (0..n).map(|i| i % k).collect();

@@ -1,0 +1,54 @@
+//! The rollout engine's central contract: training results are bit-identical
+//! for every worker count. Sampling and noise stay serial and seeded; only the
+//! pure per-episode work (decode + simulation) fans out, so the curve, the
+//! trained policy's best placement and every counter must match exactly
+//! between a serial run and a parallel one.
+
+use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainResult, TrainerConfig};
+use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle::tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn run_with_workers(workers: usize) -> TrainResult {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let mut env =
+        Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 42);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+    let mut cfg = TrainerConfig::paper(Algo::Ppo, 40);
+    cfg.workers = workers;
+    train(&agent, &mut params, &mut env, &cfg)
+}
+
+#[test]
+fn same_seed_same_curve_for_any_worker_count() {
+    let serial = run_with_workers(1);
+    let parallel = run_with_workers(4);
+
+    // Curve points carry the measured values, the noise realization (through
+    // `measured`) and the simulated wall-clock — all must match bit-for-bit.
+    assert_eq!(serial.curve.points, parallel.curve.points);
+    assert_eq!(serial.best_placement, parallel.best_placement);
+    assert_eq!(serial.final_step_time, parallel.final_step_time);
+    assert_eq!(serial.num_invalid, parallel.num_invalid);
+    assert_eq!(serial.samples, parallel.samples);
+
+    // Cache behavior is part of the contract too: hit/miss classification may
+    // not depend on how the minibatch was scheduled.
+    assert_eq!(serial.rollout.cache_hits, parallel.rollout.cache_hits);
+    assert_eq!(serial.rollout.cache_misses, parallel.rollout.cache_misses);
+    assert_eq!(serial.rollout.workers, 1);
+    assert_eq!(parallel.rollout.workers, 4);
+}
+
+#[test]
+fn auto_worker_count_matches_serial_too() {
+    let serial = run_with_workers(1);
+    let auto = run_with_workers(0);
+    assert_eq!(serial.curve.points, auto.curve.points);
+    assert_eq!(serial.best_placement, auto.best_placement);
+    assert!(auto.rollout.workers >= 1);
+}

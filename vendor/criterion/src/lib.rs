@@ -1,0 +1,192 @@
+//! Offline vendored micro-benchmark harness exposing the slice of the
+//! `criterion` API this workspace uses.
+//!
+//! No statistical machinery — each benchmark is warmed up once, sampled a
+//! bounded number of times under a per-benchmark wall-clock cap (so the suite
+//! stays fast in CI), and the mean/min times are printed to stdout. The
+//! `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! `BenchmarkGroup::sample_size`, `Bencher::{iter, iter_batched}`, `BatchSize`
+//! and `black_box` keep their upstream signatures.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: an identity function the optimizer
+/// must assume reads/writes its argument.
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock cap; keeps `cargo test`/CI runs of `harness =
+/// false` targets cheap.
+const TIME_CAP: Duration = Duration::from_millis(200);
+
+/// How batched inputs are grouped per measurement; accepted for API
+/// compatibility, measurement here is always one routine call per sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: setup cost comparable to the routine.
+    SmallInput,
+    /// Large inputs: one input per measurement.
+    LargeInput,
+    /// Each measurement gets exactly one input.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_named(name, self.default_samples, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            samples: self.default_samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_named(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+fn run_named(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples, times: Vec::new() };
+    f(&mut bencher);
+    if bencher.times.is_empty() {
+        println!("bench {name}: no measurements");
+        return;
+    }
+    let mean: f64 =
+        bencher.times.iter().map(|d| d.as_secs_f64()).sum::<f64>() / bencher.times.len() as f64;
+    let min = bencher.times.iter().min().expect("nonempty").as_secs_f64();
+    println!(
+        "bench {name}: mean {:.3} us, min {:.3} us ({} samples)",
+        mean * 1e6,
+        min * 1e6,
+        bencher.times.len()
+    );
+}
+
+/// Measures closures; handed to each benchmark body.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures a routine, one call per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // Warmup, and forces lazy init out of the samples.
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+            if started.elapsed() > TIME_CAP {
+                break;
+            }
+        }
+    }
+
+    /// Measures a routine that consumes a per-sample input built by `setup`
+    /// outside the timed region.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // Warmup.
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+            if started.elapsed() > TIME_CAP {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(5);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline vendored subset of `crossbeam`: scoped threads.
+//!
+//! `crossbeam::thread::scope` predates `std::thread::scope`; this shim keeps
+//! the crossbeam call shape (`scope(|s| ...) -> Result`, spawn closures taking
+//! the scope as an argument) while delegating the actual scoping to std.
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle: threads spawned through it are joined before
+    /// [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic payload
+        /// if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local data can be
+    /// spawned; all are joined before this returns. `Err` carries the panic
+    /// payload if the closure or any un-joined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let h1 = s.spawn(move |_| lo.iter().sum::<u64>());
+            let h2 = s.spawn(move |_| hi.iter().sum::<u64>());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .expect("no panics");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn disjoint_mutable_chunks() {
+        let mut out = vec![0u32; 8];
+        crate::thread::scope(|s| {
+            for (i, chunk) in out.chunks_mut(4).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u32 + 1;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn panic_is_reported_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("no panics");
+        assert_eq!(n, 42);
+    }
+}

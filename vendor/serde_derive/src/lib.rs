@@ -1,0 +1,300 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! Written against the raw `proc_macro` API (no `syn`/`quote` available offline).
+//! Supports the shapes this workspace derives on:
+//!
+//! * structs with named fields  -> JSON objects, one entry per field,
+//! * one-field tuple structs    -> transparent newtypes (serialize as the inner
+//!   value, matching upstream serde's newtype-struct behaviour in serde_json),
+//! * enums with unit variants   -> the variant name as a JSON string.
+//!
+//! Generic parameters and `#[serde(...)]` attributes are intentionally not
+//! supported; deriving on such an item produces a compile error naming the
+//! limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input.
+enum Input {
+    /// `struct Name { field0, field1, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T0, T1, ...);` with the number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { V0, V1, ... }` (unit variants only).
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error")
+}
+
+/// Extracts the top-level field (or variant) names from the token group of a
+/// braced struct/enum body. For enums, rejects variants with payloads.
+fn names_in_braces(group: TokenStream, is_enum: bool) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut expecting_name = true;
+    let mut tokens = group.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute or doc comment: skip the following [...] group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        tokens.next();
+                        continue;
+                    }
+                }
+                return Err("unexpected '#' in item body".into());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                expecting_name = true;
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if expecting_name {
+                    if s == "pub" {
+                        // Visibility; optional (...) restriction follows.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                        continue;
+                    }
+                    names.push(s);
+                    expecting_name = false;
+                } else if is_enum {
+                    return Err(format!("enum variant data near '{s}' is unsupported"));
+                }
+                // Otherwise: tokens of a field type; ignore.
+            }
+            TokenTree::Group(g) if is_enum && !expecting_name => {
+                let _ = g;
+                return Err("enum variants with payloads are unsupported".into());
+            }
+            _ => {}
+        }
+    }
+    Ok(names)
+}
+
+/// Parses the derive input into one of the supported shapes.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility before the struct/enum keyword.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break s,
+                    other => return Err(format!("unexpected token '{other}'")),
+                }
+            }
+            Some(other) => return Err(format!("unexpected token '{other}'")),
+            None => return Err("empty derive input".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "derive on generic type {name} is unsupported by the vendored serde_derive"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let names = names_in_braces(g.stream(), kind == "enum")?;
+            if kind == "enum" {
+                Ok(Input::UnitEnum { name, variants: names })
+            } else {
+                Ok(Input::NamedStruct { name, fields: names })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            // Tuple struct: count top-level comma-separated fields.
+            let mut arity = 0usize;
+            let mut saw_tokens = false;
+            for tt in g.stream() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        arity += 1;
+                        saw_tokens = false;
+                    }
+                    _ => saw_tokens = true,
+                }
+            }
+            if saw_tokens {
+                arity += 1;
+            }
+            Ok(Input::TupleStruct { name, arity })
+        }
+        _ => Err(format!("unsupported item body for {name}")),
+    }
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_content(&self) -> ::serde::Content {{\n\
+                             ::serde::Serialize::to_content(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_content(&self) -> ::serde::Content {{\n\
+                             ::serde::Content::Seq(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Input::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(String::from({v:?})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match parsed {
+        Input::NamedStruct { name, fields } => {
+            let bindings: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(c.get_field({f:?})\
+                             .ok_or_else(|| ::serde::Error::msg(concat!(\
+                                 \"missing field `{f}` in \", {name:?})))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         if !matches!(c, ::serde::Content::Map(_)) {{\n\
+                             return Err(::serde::Error::msg(concat!(\
+                                 \"expected object for \", {name:?})));\n\
+                         }}\n\
+                         Ok(Self {{ {} }})\n\
+                     }}\n\
+                 }}",
+                bindings.join("\n")
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                             Ok(Self(::serde::Deserialize::from_content(c)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                             match c {{\n\
+                                 ::serde::Content::Seq(items) if items.len() == {arity} => \
+                                     Ok(Self({})),\n\
+                                 _ => Err(::serde::Error::msg(concat!(\
+                                     \"expected {arity}-element array for \", {name:?}))),\n\
+                             }}\n\
+                         }}\n\
+                     }}",
+                    items.join(" ")
+                )
+            }
+        }
+        Input::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         match c {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::Error::msg(format!(\
+                                     concat!(\"unknown variant {{}} of \", {name:?}), other))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::msg(concat!(\
+                                 \"expected string variant for \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

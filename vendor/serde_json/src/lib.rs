@@ -1,0 +1,598 @@
+//! Offline vendored subset of `serde_json`.
+//!
+//! Renders the workspace [`serde::Content`] tree to JSON text and parses JSON
+//! text back into it. Provides the small `Value` API the workspace uses
+//! (`doc["key"]`, `as_array`, `as_array_mut`) plus `to_string`/`from_str`/
+//! `to_value` entry points. Object keys keep insertion order.
+
+#![warn(missing_docs)]
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements mutably if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an f64 if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a u64 if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key, returning `Value::Null` when absent — mirrors
+    /// upstream serde_json's infallible indexing.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(v) => Value::U64(*v),
+            Content::I64(v) => Value::I64(*v),
+            Content::F64(v) => Value::F64(*v),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => {
+                Value::Array(items.iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries.iter().map(|(k, v)| (k.clone(), Value::from_content(v))).collect(),
+            ),
+        }
+    }
+
+    fn to_content_tree(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::U64(v) => Content::U64(*v),
+            Value::I64(v) => Content::I64(*v),
+            Value::F64(v) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => {
+                Content::Seq(items.iter().map(Value::to_content_tree).collect())
+            }
+            Value::Object(entries) => Content::Map(
+                entries.iter().map(|(k, v)| (k.clone(), v.to_content_tree())).collect(),
+            ),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.to_content_tree()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        Ok(Value::from_content(c))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    Value::from_content(&value.to_content())
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into any deserializable value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", parser.pos)));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` is the shortest representation that parses back to the
+                // same f64 (e.g. "10.0", "0.1").
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // JSON has no NaN/Infinity; upstream serde_json emits null.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_content(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Content::Null),
+            Some(b't') => self.expect_literal("true", Content::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::msg(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::msg("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a following \uXXXX low
+                                // surrogate and combine the pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::msg("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::msg("invalid surrogate pair"))?
+                                } else {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::msg("invalid unicode escape"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "invalid escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let start = self.pos - 1;
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return Err(Error::msg("invalid UTF-8 in string")),
+                        };
+                        let end = start + width;
+                        let slice = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| Error::msg("truncated UTF-8 in string"))?;
+                        let s = std::str::from_utf8(slice)
+                            .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("truncated unicode escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| Error::msg("invalid unicode escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v) {
+                        return Ok(Content::I64(-neg));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5e2").unwrap(), 150.0);
+        assert_eq!(from_str::<f64>("10").unwrap(), 10.0);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "a \"quote\"\nand\tctrl \u{1}";
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1.25f64, -2.0, 3.0];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let doc: Value =
+            from_str(r#"{"traceEvents": [{"name": "op"}], "other": 1}"#).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["name"].as_str(), Some("op"));
+        assert_eq!(doc["missing"], Value::Null);
+        assert_eq!(doc["other"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn value_mutation_and_serialize() {
+        let mut doc: Value = from_str(r#"{"traceEvents": []}"#).unwrap();
+        if let Some(arr) = doc.as_array_mut() {
+            arr.push(Value::Null);
+        }
+        let Value::Object(entries) = &mut doc else { panic!("object") };
+        entries[0].1.as_array_mut().unwrap().push(Value::from("x"));
+        let json = to_string(&doc).unwrap();
+        assert_eq!(json, r#"{"traceEvents":["x"]}"#);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for v in [0.1f64, 1e300, -2.5e-8, 123456789.123] {
+            let json = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), v);
+        }
+    }
+}
