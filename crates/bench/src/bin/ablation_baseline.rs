@@ -16,8 +16,12 @@ fn main() {
     println!("Ablation: EMA baseline, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("baseline,step_time,invalid\n");
     for use_baseline in [true, false] {
-        let mut env =
-            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 42);
+        let mut env = Environment::builder(graph.clone(), machine.clone())
+            .measure(MeasureConfig::default())
+            .seed(42)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
@@ -29,4 +33,5 @@ fn main() {
         csv.push_str(&format!("{label},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
     }
     cli.write_artifact("ablation_baseline.csv", &csv);
+    cli.finish_metrics("ablation_baseline");
 }

@@ -16,8 +16,12 @@ fn main() {
     println!("Ablation: entropy coefficient, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("ent_coef,step_time,invalid\n");
     for coef in [0.0f32, 0.01, 0.05, 0.2] {
-        let mut env =
-            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 43);
+        let mut env = Environment::builder(graph.clone(), machine.clone())
+            .measure(MeasureConfig::default())
+            .seed(43)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
@@ -28,4 +32,5 @@ fn main() {
         csv.push_str(&format!("{coef},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
     }
     cli.write_artifact("ablation_entropy.csv", &csv);
+    cli.finish_metrics("ablation_entropy");
 }

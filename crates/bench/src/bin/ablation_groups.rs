@@ -16,8 +16,12 @@ fn main() {
     println!("Ablation: group count, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("num_groups,step_time,invalid\n");
     for k in [8usize, 16, 32, 64] {
-        let mut env =
-            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 44);
+        let mut env = Environment::builder(graph.clone(), machine.clone())
+            .measure(MeasureConfig::default())
+            .seed(44)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let mut scale = cli.scale;
@@ -29,4 +33,5 @@ fn main() {
         csv.push_str(&format!("{k},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
     }
     cli.write_artifact("ablation_groups.csv", &csv);
+    cli.finish_metrics("ablation_groups");
 }

@@ -17,8 +17,12 @@ fn main() {
     println!("Ablation: reward transform, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("transform,step_time,invalid\n");
     for tr in [RewardTransform::NegSqrt, RewardTransform::NegLinear, RewardTransform::NegLog] {
-        let mut env =
-            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 41);
+        let mut env = Environment::builder(graph.clone(), machine.clone())
+            .measure(MeasureConfig::default())
+            .seed(41)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
@@ -29,4 +33,5 @@ fn main() {
         csv.push_str(&format!("{},{},{}\n", tr.label(), fmt_time(r.final_step_time), r.num_invalid));
     }
     cli.write_artifact("ablation_reward.csv", &csv);
+    cli.finish_metrics("ablation_reward");
 }

@@ -40,4 +40,5 @@ fn main() {
         csv.push_str(&format!("{},{},{}\n", b.name(), fmt_time(reference), fmt_time(sa.best_time)));
     }
     cli.write_artifact("oracle.csv", &csv);
+    cli.finish_metrics("oracle");
 }

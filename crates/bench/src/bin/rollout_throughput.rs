@@ -30,15 +30,14 @@ const MODES: &[Mode] = &[
 fn run_mode(b: Benchmark, mode: &Mode, cli: &Cli, samples: usize) -> (TrainResult, f64) {
     let machine = Machine::paper_machine();
     let graph = b.graph_for(&machine);
-    let mut env = Environment::new(
-        graph.clone(),
-        machine.clone(),
-        MeasureConfig::default(),
-        1000 + cli.seed,
-    );
-    if !mode.cache {
-        env = env.with_cache_capacity(0);
-    }
+    let cache_capacity = if mode.cache { eagle_devsim::DEFAULT_CACHE_CAPACITY } else { 0 };
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(1000 + cli.seed)
+        .cache_capacity(cache_capacity)
+        .recorder(cli.recorder.clone())
+        .build()
+        .expect("valid throughput environment");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
     let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
@@ -70,7 +69,7 @@ fn main() {
         let mut serial_points = None;
         for mode in MODES {
             let (result, elapsed) = run_mode(b, mode, &cli, samples);
-            let stats = result.rollout;
+            let stats = result.telemetry;
             let speedup = match serial_elapsed {
                 None => {
                     serial_elapsed = Some(elapsed);
@@ -136,4 +135,5 @@ fn main() {
         "BENCH_rollout_throughput.json",
         &serde_json::to_string(&doc).expect("serialize"),
     );
+    cli.finish_metrics("rollout_throughput");
 }

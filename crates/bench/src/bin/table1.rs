@@ -45,4 +45,5 @@ fn main() {
     }
     let p = Benchmark::BertBase.paper_numbers();
     println!("\npaper reference (BERT row): FFN 5.534 / METIS 7.526 / Networkx 7.584; table IV HP {p:?}", p = p.hierarchical_planner);
+    cli.finish_metrics("table1");
 }

@@ -34,4 +34,5 @@ fn main() {
     }
     cli.write_artifact("table2.csv", &csv);
     println!("\npaper reference: Inception .067/.067/.072; GNMT 1.440/1.418/2.040; BERT 4.120/5.534/7.214");
+    cli.finish_metrics("table2");
 }

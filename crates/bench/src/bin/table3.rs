@@ -28,4 +28,5 @@ fn main() {
     }
     cli.write_artifact("table3.csv", &csv);
     println!("\npaper reference: Inception .067/.067/.067; GNMT 2.216/1.379/1.507; BERT 2.425/2.287/2.488");
+    cli.finish_metrics("table3");
 }

@@ -17,8 +17,12 @@ fn main() {
     let mut csv = String::from("model,approach,step_time,invalid\n");
     for b in Benchmark::ALL {
         let graph = b.graph_for(&machine);
-        let mut env =
-            Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 500);
+        let mut env = Environment::builder(graph.clone(), machine.clone())
+            .measure(MeasureConfig::default())
+            .seed(500)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid table environment");
         let mut cells = Vec::new();
 
         // Static baselines under the final measurement protocol.
@@ -74,4 +78,5 @@ fn main() {
         );
     }
     cli.write_artifact("table4.csv", &csv);
+    cli.finish_metrics("table4");
 }

@@ -1,0 +1,95 @@
+//! Measures the host-time cost of telemetry: the same training run with the
+//! recorder disabled vs enabled, on Inception-V3. The determinism contract is
+//! asserted along the way (identical curves either way); the emitted
+//! `BENCH_telemetry_overhead.json` records the overhead percentage, which the
+//! telemetry design budgets at <2% (see DESIGN.md, "Telemetry").
+
+use eagle_bench::Cli;
+use eagle_core::{train, Algo, EagleAgent, TrainResult, TrainerConfig};
+use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_obs::Recorder;
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::Value;
+
+fn run_once(cli: &Cli, samples: usize, recorder: Recorder) -> (TrainResult, f64) {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(1000 + cli.seed)
+        .recorder(recorder)
+        .build()
+        .expect("valid overhead environment");
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
+    let mut cfg = TrainerConfig::paper(Algo::Ppo, samples);
+    cfg.seed = cli.seed.wrapping_add(13);
+    let start = std::time::Instant::now();
+    let result = train(&agent, &mut params, &mut env, &cfg);
+    (result, start.elapsed().as_secs_f64())
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let samples = cli.samples_override.unwrap_or(200);
+    println!("telemetry overhead: {} samples/run, scale = {}", samples, cli.scale_name);
+
+    // Warm-up run to populate allocator/page-cache state, then take the best
+    // of `reps` timed runs per mode so scheduler noise cancels out.
+    run_once(&cli, samples, Recorder::disabled());
+    let reps = 3;
+    let mut off_elapsed = f64::INFINITY;
+    let mut on_elapsed = f64::INFINITY;
+    let mut off_result = None;
+    let mut on_result = None;
+    for _ in 0..reps {
+        let (r, t) = run_once(&cli, samples, Recorder::disabled());
+        off_elapsed = off_elapsed.min(t);
+        off_result = Some(r);
+        let (r, t) = run_once(&cli, samples, Recorder::new());
+        on_elapsed = on_elapsed.min(t);
+        on_result = Some(r);
+    }
+    let off_result = off_result.expect("ran at least once");
+    let on_result = on_result.expect("ran at least once");
+
+    // Observation-only contract: recording may not change the training run.
+    assert_eq!(
+        off_result.curve.points, on_result.curve.points,
+        "enabling telemetry changed the training curve"
+    );
+    assert_eq!(off_result.final_step_time, on_result.final_step_time);
+
+    let overhead_pct = 100.0 * (on_elapsed - off_elapsed) / off_elapsed;
+    println!("  recorder off: {off_elapsed:>7.2}s  (best of {reps})");
+    println!("  recorder on : {on_elapsed:>7.2}s  (best of {reps})");
+    println!("  overhead    : {overhead_pct:>+7.2}%  (budget <2%)");
+
+    let doc = obj(vec![
+        ("bench", Value::from("telemetry_overhead")),
+        ("scale", Value::from(cli.scale_name.as_str())),
+        ("seed", Value::U64(cli.seed)),
+        ("samples", Value::U64(samples as u64)),
+        ("reps", Value::U64(reps)),
+        ("off_elapsed_sec", Value::from(off_elapsed)),
+        ("on_elapsed_sec", Value::from(on_elapsed)),
+        ("overhead_pct", Value::from(overhead_pct)),
+        ("curves_identical", Value::Bool(true)),
+        (
+            "final_step_time",
+            off_result.final_step_time.map_or(Value::Null, Value::from),
+        ),
+    ]);
+    cli.write_artifact(
+        "BENCH_telemetry_overhead.json",
+        &serde_json::to_string(&doc).expect("serialize"),
+    );
+    cli.finish_metrics("telemetry_overhead");
+}

@@ -12,7 +12,9 @@
 //! * `ablation_*` — design-choice sweeps beyond the paper's tables.
 //!
 //! Every binary accepts `--scale tiny|quick|paper` (default `quick`), `--samples N`
-//! overrides per-model sample budgets, `--seed S`, and `--out DIR` for CSV exports.
+//! overrides per-model sample budgets, `--seed S`, `--out DIR` for CSV exports, and
+//! `--metrics PATH` to stream structured telemetry (spans, counters, histograms) to
+//! a JSONL file and print an end-of-run summary table.
 //! Criterion micro-benchmarks live under `benches/`.
 
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ use eagle_core::{
     PlacerKind, TrainResult, TrainerConfig,
 };
 use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_obs::Recorder;
 use eagle_partition::{fluid::FluidCommunities, metis_like::MetisLike, Partitioner};
 use eagle_tensor::Params;
 use rand::SeedableRng;
@@ -42,6 +45,11 @@ pub struct Cli {
     pub out_dir: std::path::PathBuf,
     /// Whether to export training curves.
     pub curves: bool,
+    /// Telemetry JSONL destination (`--metrics PATH`), if requested.
+    pub metrics: Option<std::path::PathBuf>,
+    /// The run's telemetry recorder: enabled iff `--metrics` was passed,
+    /// otherwise a free no-op.
+    pub recorder: Recorder,
 }
 
 impl Cli {
@@ -52,6 +60,7 @@ impl Cli {
         let mut seed = 7u64;
         let mut out_dir = std::path::PathBuf::from("results");
         let mut curves = false;
+        let mut metrics: Option<std::path::PathBuf> = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -74,9 +83,13 @@ impl Cli {
                     out_dir = args.get(i).expect("--out needs a value").into();
                 }
                 "--curves" => curves = true,
+                "--metrics" => {
+                    i += 1;
+                    metrics = Some(args.get(i).expect("--metrics needs a value").into());
+                }
                 other => {
                     eprintln!(
-                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves]"
+                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH]"
                     );
                     std::process::exit(2);
                 }
@@ -85,7 +98,9 @@ impl Cli {
         }
         let scale = AgentScale::from_name(&scale_name)
             .unwrap_or_else(|| panic!("unknown scale '{scale_name}'"));
-        Self { scale, scale_name, samples_override, seed, out_dir, curves }
+        let recorder =
+            if metrics.is_some() { Recorder::new() } else { Recorder::disabled() };
+        Self { scale, scale_name, samples_override, seed, out_dir, curves, metrics, recorder }
     }
 
     /// Default per-model training budgets at this scale: larger graphs get more
@@ -104,6 +119,19 @@ impl Cli {
             "paper" => base * 4,
             _ => base,
         }
+    }
+
+    /// Flushes telemetry at the end of a run: writes the JSONL stream to the
+    /// `--metrics` path and prints the human-readable summary table. A no-op
+    /// when `--metrics` was not passed.
+    pub fn finish_metrics(&self, run: &str) {
+        let Some(path) = &self.metrics else { return };
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create metrics dir");
+        }
+        eagle_obs::write_jsonl(&self.recorder, path, run).expect("write metrics JSONL");
+        println!("wrote {}", path.display());
+        print!("{}", eagle_obs::summary(&self.recorder));
     }
 
     /// Writes an artifact into the output directory, creating it if needed.
@@ -171,12 +199,12 @@ pub struct RunOutcome {
 pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
     let machine = Machine::paper_machine();
     let graph = b.graph_for(&machine);
-    let mut env = Environment::new(
-        graph.clone(),
-        machine.clone(),
-        MeasureConfig::default(),
-        1000 + cli.seed,
-    );
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(1000 + cli.seed)
+        .recorder(cli.recorder.clone())
+        .build()
+        .expect("benchmark environment is valid");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
     let samples = cli.samples_for(b);

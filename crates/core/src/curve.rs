@@ -1,5 +1,6 @@
 //! Training-curve recording — the data behind the paper's Figs. 2 and 5–7.
 
+use eagle_obs::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// One evaluated placement during training.
@@ -16,24 +17,6 @@ pub struct CurvePoint {
     pub best_so_far: Option<f64>,
 }
 
-/// Throughput counters of the rollout engine for one training run.
-///
-/// `episodes_per_sec` is real (host) time and thus machine-dependent; the
-/// remaining counters are deterministic for a fixed seed and worker count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RolloutStats {
-    /// Episodes (placement evaluations) completed per second of host time.
-    pub episodes_per_sec: f64,
-    /// Evaluations answered from the placement cache.
-    pub cache_hits: u64,
-    /// Evaluations that ran the simulator.
-    pub cache_misses: u64,
-    /// Fraction of evaluations answered from the cache.
-    pub cache_hit_rate: f64,
-    /// Worker threads the rollout engine ran with (resolved, never 0).
-    pub workers: usize,
-}
-
 /// A labeled training curve.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Curve {
@@ -41,16 +24,16 @@ pub struct Curve {
     pub label: String,
     /// Points in sampling order.
     pub points: Vec<CurvePoint>,
-    /// Rollout-engine throughput counters, when the producing trainer recorded
-    /// them. Excluded from curve equality in tests: `episodes_per_sec` is host
+    /// Run telemetry snapshot, when the producing trainer recorded one.
+    /// Excluded from curve equality in tests: `episodes_per_sec` is host
     /// time, not simulated time.
-    pub rollout: Option<RolloutStats>,
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Curve {
     /// Creates an empty curve.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new(), rollout: None }
+        Self { label: label.into(), points: Vec::new(), telemetry: None }
     }
 
     /// Appends a measurement, maintaining `best_so_far`.

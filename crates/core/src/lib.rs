@@ -14,7 +14,11 @@
 //!
 //! let machine = Machine::paper_machine();
 //! let graph = Benchmark::InceptionV3.graph_for(&machine);
-//! let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 1);
+//! let mut env = Environment::builder(graph.clone(), machine.clone())
+//!     .measure(MeasureConfig::default())
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
 //! let mut params = eagle_tensor::Params::new();
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::quick(), &mut rng);
@@ -31,6 +35,7 @@ mod scale;
 mod trainer;
 
 pub use agents::{EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent, PlacerKind};
-pub use curve::{Curve, CurvePoint, RolloutStats};
+pub use curve::{Curve, CurvePoint};
+pub use eagle_obs::Telemetry;
 pub use scale::AgentScale;
 pub use trainer::{train, Algo, TrainResult, TrainerConfig};

@@ -11,8 +11,10 @@ use eagle_tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use eagle_obs::Telemetry;
+
 use crate::agents::PlacementAgent;
-use crate::curve::{Curve, RolloutStats};
+use crate::curve::Curve;
 
 /// Which training algorithm drives the agent (paper Sec. III-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,8 +119,8 @@ pub struct TrainResult {
     pub num_invalid: usize,
     /// Total samples drawn.
     pub samples: usize,
-    /// Rollout-engine throughput counters (also attached to `curve`).
-    pub rollout: RolloutStats,
+    /// Run telemetry snapshot (also attached to `curve`).
+    pub telemetry: Telemetry,
 }
 
 /// Runs the full training loop of `agent` against `env`.
@@ -135,15 +137,17 @@ pub fn train(
 ) -> TrainResult {
     assert!(cfg.minibatch > 0, "minibatch must be positive");
     let host_start = std::time::Instant::now();
-    let cache_start = env.cache_stats();
+    let start = env.snapshot();
+    let rec = env.recorder().clone();
     let workers = eagle_devsim::resolve_workers(cfg.workers);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut baseline = EmaBaseline::new(cfg.ema_alpha);
     let mut curve = Curve::new(agent.name());
 
-    let mut reinforce = Reinforce::new(cfg.optim.clone());
-    let mut ppo = Ppo::new(cfg.optim.clone(), cfg.ppo_clip, cfg.ppo_epochs);
-    let mut ce = CrossEntropyMin::new(cfg.optim.clone(), cfg.ce_steps);
+    let mut reinforce = Reinforce::new(cfg.optim.clone()).with_recorder(rec.clone());
+    let mut ppo =
+        Ppo::new(cfg.optim.clone(), cfg.ppo_clip, cfg.ppo_epochs).with_recorder(rec.clone());
+    let mut ce = CrossEntropyMin::new(cfg.optim.clone(), cfg.ce_steps).with_recorder(rec.clone());
 
     // Sample history for elite selection (actions + reward).
     let mut history_actions: Vec<Vec<usize>> = Vec::new();
@@ -156,14 +160,18 @@ pub fn train(
 
     while samples < cfg.total_samples {
         let batch_size = cfg.minibatch.min(cfg.total_samples - samples);
+        rec.add("trainer.minibatches", 1);
 
         // Phase A (serial, seeded): draw the minibatch's action sequences.
         // This is the only consumer of the trainer RNG, so batching preserves
         // the exact serial action stream.
+        let sample_span = rec.span("trainer.sample_us");
         let drawn: Vec<_> = (0..batch_size).map(|_| agent.sample(params, &mut rng)).collect();
+        drop(sample_span);
 
         // Phase B (parallel): decode actions into placements — a pure forward
         // pass through the frozen placer, safe to fan out.
+        let decode_span = rec.span("trainer.decode_us");
         let placements: Vec<Placement> = if workers > 1 && batch_size > 1 {
             let params_ref: &Params = params;
             let mut out: Vec<Option<Placement>> = vec![None; batch_size];
@@ -182,17 +190,22 @@ pub fn train(
         } else {
             drawn.iter().map(|(actions, _)| agent.decode(params, actions)).collect()
         };
+        drop(decode_span);
 
         // Phase C: evaluate the minibatch (cache probes and noise serial,
         // cache-miss simulations parallel — see `Environment::evaluate_batch`).
+        let evaluate_span = rec.span("trainer.evaluate_us");
         let wall_before = env.wall_clock();
         let measurements = env.evaluate_batch(&placements, workers);
+        drop(evaluate_span);
         // Rebuild the per-episode wall-clock by accumulating costs in episode
         // order — the same float additions the serial loop performs, so curve
         // x-values are bit-identical.
         let mut wall = wall_before;
 
-        // Phase D (serial): rewards, baseline, curve — in episode order.
+        // Phase D (serial): rewards, baseline, curve, policy update — in
+        // episode order.
+        let update_span = rec.span("trainer.update_us");
         let mut batch: Vec<TrainSample> = Vec::with_capacity(batch_size);
         for (((actions, old_log_prob), placement), meas) in
             drawn.into_iter().zip(&placements).zip(&measurements)
@@ -255,6 +268,7 @@ pub fn train(
                 }
             }
         }
+        drop(update_span);
     }
 
     // Final 1,000-step measurement of the best placement (paper protocol).
@@ -266,18 +280,22 @@ pub fn train(
         None => (None, None),
     };
 
-    let cache = env.cache_stats().since(&cache_start);
+    let run = env.snapshot().since(&start);
     let elapsed = host_start.elapsed().as_secs_f64();
-    let rollout = RolloutStats {
+    let telemetry = Telemetry {
         episodes_per_sec: if elapsed > 0.0 { samples as f64 / elapsed } else { 0.0 },
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
-        cache_hit_rate: cache.hit_rate(),
+        evals: run.evals,
+        invalid_evals: run.invalid_evals,
+        cache_hits: run.cache.hits,
+        cache_misses: run.cache.misses,
+        cache_evictions: run.cache.evictions,
+        cache_hit_rate: run.cache.hit_rate(),
+        sim_wall_clock: run.wall_clock,
         workers,
     };
-    curve.rollout = Some(rollout);
+    curve.telemetry = Some(telemetry);
 
-    TrainResult { best_placement, final_step_time, curve, num_invalid, samples, rollout }
+    TrainResult { best_placement, final_step_time, curve, num_invalid, samples, telemetry }
 }
 
 #[cfg(test)]
@@ -297,7 +315,11 @@ mod tests {
             vocab: 20,
         });
         let m = Machine::paper_machine();
-        let env = Environment::new(g.clone(), m.clone(), MeasureConfig::exact(), 3);
+        let env = Environment::builder(g.clone(), m.clone())
+            .measure(MeasureConfig::exact())
+            .seed(3)
+            .build()
+            .expect("valid tiny environment");
         (g, m, env)
     }
 

@@ -44,13 +44,15 @@ impl BaseEval {
     }
 }
 
-/// Hit/miss counters of a [`PlacementCache`].
+/// Hit/miss/eviction counters of a [`PlacementCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Evaluations answered from the cache.
     pub hits: u64,
     /// Evaluations that ran the simulator.
     pub misses: u64,
+    /// Entries evicted (FIFO) to stay within capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -69,6 +71,7 @@ impl CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -142,22 +145,27 @@ impl PlacementCache {
     }
 
     /// Stores an outcome, evicting the oldest entry when full. No-op when
-    /// disabled or the key is already present.
-    pub fn insert(&mut self, placement: &Placement, base: BaseEval) {
+    /// disabled or the key is already present. Returns `true` when an entry
+    /// was evicted to make room.
+    pub fn insert(&mut self, placement: &Placement, base: BaseEval) -> bool {
         if !self.enabled() {
-            return;
+            return false;
         }
         let key = key_of(placement);
         if self.map.contains_key(key.as_ref()) {
-            return;
+            return false;
         }
+        let mut evicted = false;
         if self.map.len() >= self.capacity {
             if let Some(oldest) = self.order.pop_front() {
                 self.map.remove(oldest.as_ref());
+                self.stats.evictions += 1;
+                evicted = true;
             }
         }
         self.order.push_back(key.clone());
         self.map.insert(key, base);
+        evicted
     }
 }
 
@@ -180,7 +188,7 @@ mod tests {
             Some(BaseEval::Valid { step_time: 2.0 })
         );
         assert_eq!(c.lookup(&p(&[1, 0])), None);
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 2, evictions: 0 });
         assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
@@ -191,8 +199,9 @@ mod tests {
         c.insert(&p(&[1]), BaseEval::Valid { step_time: 1.0 });
         // A hit on the oldest entry must NOT protect it from eviction.
         assert!(c.lookup(&p(&[0])).is_some());
-        c.insert(&p(&[2]), BaseEval::Valid { step_time: 2.0 });
+        assert!(c.insert(&p(&[2]), BaseEval::Valid { step_time: 2.0 }), "full cache evicts");
         assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.lookup(&p(&[0])), None, "oldest evicted despite recent hit");
         assert!(c.lookup(&p(&[1])).is_some());
         assert!(c.lookup(&p(&[2])).is_some());

@@ -10,6 +10,7 @@
 //! session setup + parameter staging + the measured steps. Training curves indexed
 //! by this clock reproduce the time axis of the paper's Figs. 5–7.
 
+use eagle_obs::{resolve_workers, Recorder};
 use eagle_opgraph::OpGraph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -21,6 +22,151 @@ use crate::sim::{simulate, SimOutcome};
 
 /// Default bound on the number of memoized placements per environment.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Why an [`EnvironmentBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// The op graph has no nodes — nothing to place.
+    EmptyGraph,
+    /// The machine has no devices — nowhere to place.
+    NoDevices,
+    /// Warm-up consumes every measured step (`warmup_steps >= train_steps`).
+    NoMeasuredSteps {
+        /// Configured steps per evaluation.
+        train_steps: usize,
+        /// Configured leading steps discarded as warm-up.
+        warmup_steps: usize,
+    },
+    /// A [`MeasureConfig`] knob is negative or non-finite.
+    BadKnob {
+        /// Which knob.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::EmptyGraph => write!(f, "op graph has no nodes"),
+            EnvError::NoDevices => write!(f, "machine has no devices"),
+            EnvError::NoMeasuredSteps { train_steps, warmup_steps } => write!(
+                f,
+                "warm-up ({warmup_steps} steps) consumes the whole evaluation ({train_steps} steps)"
+            ),
+            EnvError::BadKnob { name, value } => {
+                write!(f, "measure-config knob {name} must be finite and >= 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Staged configuration for an [`Environment`]; built with
+/// [`Environment::builder`], validated by [`EnvironmentBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct EnvironmentBuilder {
+    graph: OpGraph,
+    machine: Machine,
+    cfg: MeasureConfig,
+    seed: u64,
+    cache_capacity: usize,
+    recorder: Recorder,
+}
+
+impl EnvironmentBuilder {
+    /// Seed of the measurement-noise RNG (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Measurement protocol (default [`MeasureConfig::default`]).
+    pub fn measure(mut self, cfg: MeasureConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Placement-cache capacity; 0 disables memoization entirely
+    /// (default [`DEFAULT_CACHE_CAPACITY`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Telemetry recorder the environment reports through (default disabled).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Validates the staged configuration and builds the environment.
+    pub fn build(self) -> Result<Environment, EnvError> {
+        if self.graph.is_empty() {
+            return Err(EnvError::EmptyGraph);
+        }
+        if self.machine.num_devices() == 0 {
+            return Err(EnvError::NoDevices);
+        }
+        if self.cfg.warmup_steps >= self.cfg.train_steps {
+            return Err(EnvError::NoMeasuredSteps {
+                train_steps: self.cfg.train_steps,
+                warmup_steps: self.cfg.warmup_steps,
+            });
+        }
+        for (name, value) in [
+            ("warmup_factor", self.cfg.warmup_factor),
+            ("noise_sigma", self.cfg.noise_sigma),
+            ("session_setup", self.cfg.session_setup),
+            ("oom_cost", self.cfg.oom_cost),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(EnvError::BadKnob { name, value });
+            }
+        }
+        Ok(Environment {
+            graph: self.graph,
+            machine: self.machine,
+            cfg: self.cfg,
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            evals: 0,
+            invalid: 0,
+            wall_clock: 0.0,
+            best: None,
+            cache: PlacementCache::new(self.cache_capacity),
+            recorder: self.recorder,
+        })
+    }
+}
+
+/// Counter snapshot of one environment: evaluations, OOMs, simulated
+/// wall-clock and cache behavior in a single value — the one-call replacement
+/// for the deprecated `num_evals`/`cache_stats` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnvSnapshot {
+    /// Placement evaluations performed (training protocol only).
+    pub evals: u64,
+    /// Evaluations that came back invalid (OOM).
+    pub invalid_evals: u64,
+    /// Simulated wall-clock charged so far (seconds).
+    pub wall_clock: f64,
+    /// Placement-cache counters.
+    pub cache: CacheStats,
+}
+
+impl EnvSnapshot {
+    /// Counter difference since an earlier snapshot.
+    pub fn since(&self, earlier: &EnvSnapshot) -> EnvSnapshot {
+        EnvSnapshot {
+            evals: self.evals - earlier.evals,
+            invalid_evals: self.invalid_evals - earlier.invalid_evals,
+            wall_clock: self.wall_clock - earlier.wall_clock,
+            cache: self.cache.since(&earlier.cache),
+        }
+    }
+}
 
 /// Measurement-protocol knobs.
 #[derive(Debug, Clone)]
@@ -84,35 +230,48 @@ pub struct Environment {
     cfg: MeasureConfig,
     rng: ChaCha8Rng,
     evals: u64,
+    invalid: u64,
     wall_clock: f64,
     best: Option<(f64, Placement)>,
     cache: PlacementCache,
+    recorder: Recorder,
 }
 
 impl Environment {
-    /// Creates an environment with a seeded noise source and a default-sized
-    /// placement cache (see [`DEFAULT_CACHE_CAPACITY`]).
-    pub fn new(graph: OpGraph, machine: Machine, cfg: MeasureConfig, seed: u64) -> Self {
-        Self {
+    /// Starts building an environment around a graph and machine. Seed,
+    /// measurement protocol, cache capacity and telemetry recorder are staged
+    /// on the returned builder; [`EnvironmentBuilder::build`] validates the
+    /// combination and returns the environment or an [`EnvError`].
+    pub fn builder(graph: OpGraph, machine: Machine) -> EnvironmentBuilder {
+        EnvironmentBuilder {
             graph,
             machine,
-            cfg,
-            rng: ChaCha8Rng::seed_from_u64(seed),
-            evals: 0,
-            wall_clock: 0.0,
-            best: None,
-            cache: PlacementCache::new(DEFAULT_CACHE_CAPACITY),
+            cfg: MeasureConfig::default(),
+            seed: 0,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            recorder: Recorder::disabled(),
         }
     }
 
-    /// Replaces the placement cache with one of the given capacity
-    /// (0 disables memoization entirely).
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = PlacementCache::new(capacity);
-        self
+    /// Counter snapshot: evaluations, OOM count, simulated wall-clock and
+    /// cache behavior in one call.
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot {
+            evals: self.evals,
+            invalid_evals: self.invalid,
+            wall_clock: self.wall_clock,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// The telemetry recorder this environment reports through (disabled
+    /// unless one was installed via the builder).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Hit/miss counters of the placement cache.
+    #[deprecated(since = "0.1.0", note = "use Environment::snapshot().cache")]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -128,6 +287,7 @@ impl Environment {
     }
 
     /// Number of evaluations performed.
+    #[deprecated(since = "0.1.0", note = "use Environment::snapshot().evals")]
     pub fn num_evals(&self) -> u64 {
         self.evals
     }
@@ -181,8 +341,15 @@ impl Environment {
     /// cached OOM costs nothing (the crash is remembered, not reproduced).
     fn commit(&mut self, placement: &Placement, base: BaseEval, cached: bool) -> Measurement {
         self.evals += 1;
-        match base {
+        self.recorder.add("devsim.evals", 1);
+        self.recorder.add(
+            if cached { "devsim.cache.hits" } else { "devsim.cache.misses" },
+            1,
+        );
+        let m = match base {
             BaseEval::Invalid => {
+                self.invalid += 1;
+                self.recorder.add("devsim.oom", 1);
                 let wall = if cached { 0.0 } else { self.cfg.oom_cost };
                 self.wall_clock += wall;
                 Measurement { step_time: None, wall_cost: wall }
@@ -203,7 +370,10 @@ impl Environment {
                 }
                 Measurement { step_time: Some(mean), wall_cost: wall }
             }
-        }
+        };
+        self.recorder.observe("devsim.wall_cost_s", m.wall_cost);
+        self.recorder.gauge("devsim.wall_clock_s", self.wall_clock);
+        m
     }
 
     /// Measures a placement with the training-time protocol (15 steps, discard 5).
@@ -213,15 +383,14 @@ impl Environment {
     /// the re-measured steps are charged to the wall-clock. The noise stream is
     /// consumed identically on hits and misses, so enabling the cache changes
     /// wall-clock charges but never the measured values.
+    ///
+    /// This is a thin wrapper over [`Environment::evaluate_batch`] with a
+    /// one-element batch — caching, noise ordering and telemetry live in
+    /// exactly one code path.
     pub fn evaluate(&mut self, placement: &Placement) -> Measurement {
-        match self.cache.lookup(placement) {
-            Some(base) => self.commit(placement, base, true),
-            None => {
-                let base = self.simulate_base(placement);
-                self.cache.insert(placement, base);
-                self.commit(placement, base, false)
-            }
-        }
+        self.evaluate_batch(std::slice::from_ref(placement), 1)
+            .pop()
+            .expect("one measurement per placement")
     }
 
     /// Evaluates a minibatch, fanning the pure simulations out over `workers`
@@ -266,20 +435,23 @@ impl Environment {
         }
 
         // Phase 2 (parallel): simulate the misses. Each worker owns a disjoint
-        // chunk of the miss list; results are scattered back by index.
-        let mut bases: Vec<Option<BaseEval>> = vec![None; placements.len()];
+        // chunk of the miss list; results are scattered back by index, each
+        // with its host-time cost so the serial phase can report simulator
+        // latency in episode order (telemetry stays deterministic).
+        let timed_sim = |env: &Environment, i: usize| -> (usize, BaseEval, f64) {
+            let start = std::time::Instant::now();
+            let base = env.simulate_base(&placements[i]);
+            (i, base, start.elapsed().as_secs_f64() * 1e6)
+        };
+        let mut bases: Vec<Option<(BaseEval, f64)>> = vec![None; placements.len()];
         if workers > 1 && miss_idx.len() > 1 {
             let env = &*self;
             let chunk = miss_idx.len().div_ceil(workers);
-            let simulated: Vec<Vec<(usize, BaseEval)>> = crossbeam::thread::scope(|s| {
+            let simulated: Vec<Vec<(usize, BaseEval, f64)>> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = miss_idx
                     .chunks(chunk)
                     .map(|ids| {
-                        s.spawn(move |_| {
-                            ids.iter()
-                                .map(|&i| (i, env.simulate_base(&placements[i])))
-                                .collect()
-                        })
+                        s.spawn(move |_| ids.iter().map(|&i| timed_sim(env, i)).collect())
                     })
                     .collect();
                 handles
@@ -288,12 +460,13 @@ impl Environment {
                     .collect()
             })
             .expect("rollout worker panicked");
-            for (i, base) in simulated.into_iter().flatten() {
-                bases[i] = Some(base);
+            for (i, base, sim_us) in simulated.into_iter().flatten() {
+                bases[i] = Some((base, sim_us));
             }
         } else {
             for &i in &miss_idx {
-                bases[i] = Some(self.simulate_base(&placements[i]));
+                let (_, base, sim_us) = timed_sim(self, i);
+                bases[i] = Some((base, sim_us));
             }
         }
 
@@ -307,12 +480,15 @@ impl Environment {
             .map(|(i, (p, probe))| match probe {
                 Probe::Hit(base) => self.commit(p, *base, true),
                 Probe::Dup(j) => {
-                    let base = bases[*j].expect("first occurrence simulated");
+                    let (base, _) = bases[*j].expect("first occurrence simulated");
                     self.commit(p, base, true)
                 }
                 Probe::Miss => {
-                    let base = bases[i].expect("miss simulated");
-                    self.cache.insert(p, base);
+                    let (base, sim_us) = bases[i].expect("miss simulated");
+                    self.recorder.observe("devsim.sim_us", sim_us);
+                    if self.cache.insert(p, base) {
+                        self.recorder.add("devsim.cache.evictions", 1);
+                    }
                     self.commit(p, base, false)
                 }
             })
@@ -331,18 +507,11 @@ impl Environment {
                     stats.step_time * 1.01,
                 );
                 self.wall_clock += self.staging_cost() + 1000.0 * stats.step_time;
+                self.recorder.add("devsim.final_evals", 1);
+                self.recorder.gauge("devsim.wall_clock_s", self.wall_clock);
                 Some(mean.max(stats.step_time * 0.99))
             }
         }
-    }
-}
-
-/// Resolves a requested worker count: 0 means one per available core.
-pub fn resolve_workers(workers: usize) -> usize {
-    if workers == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        workers
     }
 }
 
@@ -350,6 +519,14 @@ pub fn resolve_workers(workers: usize) -> usize {
 mod tests {
     use super::*;
     use eagle_opgraph::{OpKind, OpNode, Phase};
+
+    fn env(g: OpGraph, m: &Machine, cfg: MeasureConfig, seed: u64) -> Environment {
+        Environment::builder(g, m.clone())
+            .measure(cfg)
+            .seed(seed)
+            .build()
+            .expect("valid test environment")
+    }
 
     fn tiny_graph() -> OpGraph {
         let mut g = OpGraph::new("tiny");
@@ -366,7 +543,7 @@ mod tests {
     #[test]
     fn exact_config_is_deterministic_and_noise_free() {
         let m = Machine::paper_machine();
-        let mut env = Environment::new(tiny_graph(), m.clone(), MeasureConfig::exact(), 1);
+        let mut env = env(tiny_graph(), &m, MeasureConfig::exact(), 1);
         let p = Placement::uniform(2, m.gpu_ids()[0]);
         let a = env.evaluate(&p).step_time.unwrap();
         let b = env.evaluate(&p).step_time.unwrap();
@@ -379,8 +556,8 @@ mod tests {
     fn noise_is_small_and_seeded() {
         let m = Machine::paper_machine();
         let p = Placement::uniform(2, m.gpu_ids()[0]);
-        let mut e1 = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 7);
-        let mut e2 = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 7);
+        let mut e1 = env(tiny_graph(), &m, MeasureConfig::default(), 7);
+        let mut e2 = env(tiny_graph(), &m, MeasureConfig::default(), 7);
         let a = e1.evaluate(&p).step_time.unwrap();
         let b = e2.evaluate(&p).step_time.unwrap();
         assert_eq!(a, b, "same seed, same measurement");
@@ -393,7 +570,7 @@ mod tests {
         let m = Machine::paper_machine();
         let mut g = tiny_graph();
         g.node_mut(eagle_opgraph::OpId(0)).act_bytes = 20 << 30;
-        let mut env = Environment::new(g, m.clone(), MeasureConfig::default(), 1);
+        let mut env = env(g, &m, MeasureConfig::default(), 1);
         let oom = env.evaluate(&Placement::uniform(2, m.gpu_ids()[0]));
         assert!(oom.step_time.is_none());
         let w1 = env.wall_clock();
@@ -402,13 +579,16 @@ mod tests {
         assert!(ok.step_time.is_some());
         assert!(env.wall_clock() > w1);
         assert!(ok.wall_cost > oom.wall_cost, "valid eval includes session setup + steps");
-        assert_eq!(env.num_evals(), 2);
+        let snap = env.snapshot();
+        assert_eq!(snap.evals, 2);
+        assert_eq!(snap.invalid_evals, 1);
+        assert_eq!(snap.wall_clock, env.wall_clock());
     }
 
     #[test]
     fn best_tracks_minimum_valid() {
         let m = Machine::paper_machine();
-        let mut env = Environment::new(tiny_graph(), m.clone(), MeasureConfig::exact(), 1);
+        let mut env = env(tiny_graph(), &m, MeasureConfig::exact(), 1);
         let slow = Placement::uniform(2, m.cpu_id());
         let fast = Placement::uniform(2, m.gpu_ids()[0]);
         env.evaluate(&slow);
@@ -432,15 +612,14 @@ mod tests {
             Placement::uniform(2, m.gpu_ids()[1]),
             Placement::uniform(2, m.cpu_id()),
         ];
-        let mut serial = Environment::new(g.clone(), m.clone(), MeasureConfig::default(), 11);
+        let mut serial = env(g.clone(), &m, MeasureConfig::default(), 11);
         let expect: Vec<Measurement> = batch.iter().map(|p| serial.evaluate(p)).collect();
         for workers in [1usize, 2, 4, 0] {
-            let mut env = Environment::new(g.clone(), m.clone(), MeasureConfig::default(), 11);
+            let mut env = env(g.clone(), &m, MeasureConfig::default(), 11);
             let got = env.evaluate_batch(&batch, workers);
             assert_eq!(got, expect, "workers={workers}");
             assert_eq!(env.wall_clock(), serial.wall_clock(), "workers={workers}");
-            assert_eq!(env.num_evals(), serial.num_evals());
-            assert_eq!(env.cache_stats(), serial.cache_stats(), "workers={workers}");
+            assert_eq!(env.snapshot(), serial.snapshot(), "workers={workers}");
             assert_eq!(env.best().unwrap().1, serial.best().unwrap().1);
         }
     }
@@ -449,25 +628,111 @@ mod tests {
     fn cache_hits_cost_less_wall_clock_but_same_values() {
         let m = Machine::paper_machine();
         let p = Placement::uniform(2, m.gpu_ids()[0]);
-        let mut with = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 5);
-        let mut without = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 5)
-            .with_cache_capacity(0);
+        let mut with = env(tiny_graph(), &m, MeasureConfig::default(), 5);
+        let mut without = Environment::builder(tiny_graph(), m.clone())
+            .measure(MeasureConfig::default())
+            .seed(5)
+            .cache_capacity(0)
+            .build()
+            .unwrap();
         let (a1, b1) = (with.evaluate(&p), without.evaluate(&p));
         let (a2, b2) = (with.evaluate(&p), without.evaluate(&p));
         assert_eq!(a1.step_time, b1.step_time);
         assert_eq!(a2.step_time, b2.step_time, "cache never changes measured values");
         assert!(a2.wall_cost < b2.wall_cost, "hit skips staging and warm-up");
-        assert_eq!(with.cache_stats().hits, 1);
-        assert_eq!(without.cache_stats().hits, 0);
+        assert_eq!(with.snapshot().cache.hits, 1);
+        assert_eq!(without.snapshot().cache.hits, 0);
     }
 
     #[test]
     fn final_protocol_tight() {
         let m = Machine::paper_machine();
-        let mut env = Environment::new(tiny_graph(), m.clone(), MeasureConfig::default(), 3);
+        let mut env = env(tiny_graph(), &m, MeasureConfig::default(), 3);
         let p = Placement::uniform(2, m.gpu_ids()[0]);
         let t = env.evaluate_final(&p).unwrap();
         let exact = 2.0 * (30e-6 + 1e-3);
         assert!((t - exact).abs() / exact < 0.011, "1000-step estimate is tight: {t}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        let m = Machine::paper_machine();
+        let empty = OpGraph::new("empty");
+        assert_eq!(
+            Environment::builder(empty, m.clone()).build().unwrap_err(),
+            EnvError::EmptyGraph
+        );
+        let degenerate = MeasureConfig { train_steps: 5, warmup_steps: 5, ..Default::default() };
+        assert_eq!(
+            Environment::builder(tiny_graph(), m.clone()).measure(degenerate).build().unwrap_err(),
+            EnvError::NoMeasuredSteps { train_steps: 5, warmup_steps: 5 }
+        );
+        let negative = MeasureConfig { noise_sigma: -0.1, ..Default::default() };
+        let err = Environment::builder(tiny_graph(), m.clone())
+            .measure(negative)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EnvError::BadKnob { name: "noise_sigma", value: -0.1 });
+        assert!(err.to_string().contains("noise_sigma"), "errors must name the knob");
+    }
+
+    #[test]
+    fn builder_defaults_match_explicit_settings() {
+        let m = Machine::paper_machine();
+        let p = Placement::uniform(2, m.gpu_ids()[0]);
+        let mut dflt = Environment::builder(tiny_graph(), m.clone())
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut explicit = Environment::builder(tiny_graph(), m.clone())
+            .seed(9)
+            .measure(MeasureConfig::default())
+            .cache_capacity(DEFAULT_CACHE_CAPACITY)
+            .recorder(Recorder::disabled())
+            .build()
+            .unwrap();
+        assert_eq!(dflt.evaluate(&p), explicit.evaluate(&p));
+    }
+
+    #[test]
+    fn recorder_counts_evals_hits_and_ooms() {
+        let m = Machine::paper_machine();
+        let rec = Recorder::new();
+        let mut g = tiny_graph();
+        g.node_mut(eagle_opgraph::OpId(0)).act_bytes = 20 << 30;
+        let mut env = Environment::builder(g, m.clone())
+            .seed(1)
+            .recorder(rec.clone())
+            .build()
+            .unwrap();
+        let oom = Placement::uniform(2, m.gpu_ids()[0]);
+        let ok = Placement::uniform(2, m.cpu_id());
+        env.evaluate(&oom);
+        env.evaluate(&ok);
+        env.evaluate(&ok); // cache hit
+        assert_eq!(rec.counter_value("devsim.evals"), 3);
+        assert_eq!(rec.counter_value("devsim.oom"), 1);
+        assert_eq!(rec.counter_value("devsim.cache.hits"), 1);
+        assert_eq!(rec.counter_value("devsim.cache.misses"), 2);
+        // Only cache misses run (and time) the simulator.
+        assert_eq!(rec.histogram("devsim.sim_us").unwrap().count, 2);
+        assert_eq!(rec.gauge_value("devsim.wall_clock_s"), Some(env.wall_clock()));
+    }
+
+    #[test]
+    fn telemetry_on_or_off_never_changes_measurements() {
+        let m = Machine::paper_machine();
+        let p = Placement::uniform(2, m.gpu_ids()[0]);
+        let mut quiet = env(tiny_graph(), &m, MeasureConfig::default(), 13);
+        let mut loud = Environment::builder(tiny_graph(), m.clone())
+            .measure(MeasureConfig::default())
+            .seed(13)
+            .recorder(Recorder::new())
+            .build()
+            .unwrap();
+        for _ in 0..4 {
+            assert_eq!(quiet.evaluate(&p), loud.evaluate(&p));
+        }
+        assert_eq!(quiet.snapshot(), loud.snapshot());
     }
 }

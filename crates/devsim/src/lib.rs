@@ -33,6 +33,10 @@ pub mod trace;
 pub use benchmarks::{calibrate, Benchmark, PaperNumbers};
 pub use cache::{BaseEval, CacheStats, PlacementCache};
 pub use device::{efficiency, DeviceId, DeviceKind, DeviceSpec, Machine};
-pub use env::{resolve_workers, Environment, MeasureConfig, Measurement, DEFAULT_CACHE_CAPACITY};
+pub use eagle_obs::resolve_workers;
+pub use env::{
+    EnvError, EnvSnapshot, Environment, EnvironmentBuilder, MeasureConfig, Measurement,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use placement::Placement;
 pub use sim::{simulate, SimOutcome, StepStats};

@@ -1,0 +1,32 @@
+//! Host-runtime helpers shared across the workspace.
+
+use std::sync::OnceLock;
+
+/// Worker threads available on this host, queried once per process. Every
+/// consumer (the rollout engine, sharded matmuls) sizes its thread pools off
+/// this single cached value.
+pub fn available_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Resolves a requested worker count: 0 means one per available core.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        available_workers()
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_host_parallelism() {
+        assert!(available_workers() >= 1);
+        assert_eq!(resolve_workers(0), available_workers());
+        assert_eq!(resolve_workers(3), 3);
+    }
+}

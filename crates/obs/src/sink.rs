@@ -1,0 +1,187 @@
+//! Sinks: the JSONL metric stream and the human-readable summary table.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::recorder::Recorder;
+
+/// Version stamped into the leading `meta` line of every JSONL stream. Bump it
+/// whenever a line type gains, loses or retypes a field — the golden test
+/// (`tests/telemetry_schema.rs`) pins the schema at this version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Non-finite floats are not representable in JSON; they can only arise from a
+/// degenerate run (e.g. an empty histogram's range) and are written as 0.
+fn num(v: f64) -> Value {
+    Value::F64(if v.is_finite() { v } else { 0.0 })
+}
+
+/// Writes the recorder's contents as JSON Lines:
+///
+/// ```text
+/// {"type":"meta","schema_version":1,"run":"table4"}
+/// {"type":"span","name":"trainer.sample_us","seq":1,"us":412.0}
+/// {"type":"counter","name":"devsim.cache.hits","value":151}
+/// {"type":"gauge","name":"rl.loss","value":-0.0123}
+/// {"type":"histogram","name":"trainer.update_us","count":40,"sum":...,"min":...,
+///  "max":...,"p50":...,"p90":...,"p99":...,"buckets":[[512.0,3],...]}
+/// ```
+///
+/// One object per line; the `type` field discriminates. Span events stream in
+/// completion order, then the final counter/gauge/histogram state, each group
+/// sorted by name. A disabled recorder writes just the `meta` line, so the
+/// file is valid JSONL either way.
+pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let meta = obj(vec![
+        ("type", Value::from("meta")),
+        ("schema_version", Value::U64(SCHEMA_VERSION)),
+        ("run", Value::from(run)),
+    ]);
+    writeln!(out, "{}", serde_json::to_string(&meta).expect("serialize meta"))?;
+    for s in rec.spans() {
+        let line = obj(vec![
+            ("type", Value::from("span")),
+            ("name", Value::from(s.name)),
+            ("seq", Value::U64(s.seq)),
+            ("us", num(s.micros)),
+        ]);
+        writeln!(out, "{}", serde_json::to_string(&line).expect("serialize span"))?;
+    }
+    for (name, value) in rec.counters() {
+        let line = obj(vec![
+            ("type", Value::from("counter")),
+            ("name", Value::from(name)),
+            ("value", Value::U64(value)),
+        ]);
+        writeln!(out, "{}", serde_json::to_string(&line).expect("serialize counter"))?;
+    }
+    for (name, value) in rec.gauges() {
+        let line = obj(vec![
+            ("type", Value::from("gauge")),
+            ("name", Value::from(name)),
+            ("value", num(value)),
+        ]);
+        writeln!(out, "{}", serde_json::to_string(&line).expect("serialize gauge"))?;
+    }
+    for (name, h) in rec.histograms() {
+        let buckets = Value::Array(
+            h.buckets
+                .iter()
+                .map(|&(ub, c)| Value::Array(vec![num(ub), Value::U64(c)]))
+                .collect(),
+        );
+        let line = obj(vec![
+            ("type", Value::from("histogram")),
+            ("name", Value::from(name)),
+            ("count", Value::U64(h.count)),
+            ("sum", num(h.sum)),
+            ("min", num(h.min)),
+            ("max", num(h.max)),
+            ("p50", num(h.p50)),
+            ("p90", num(h.p90)),
+            ("p99", num(h.p99)),
+            ("buckets", buckets),
+        ]);
+        writeln!(out, "{}", serde_json::to_string(&line).expect("serialize histogram"))?;
+    }
+    out.flush()
+}
+
+/// Renders the end-of-run summary table: counters, gauges, and one row per
+/// histogram with count / mean / p50 / p90 / max. Histogram names ending in
+/// `_us` hold microseconds (the span-timer convention).
+pub fn summary(rec: &Recorder) -> String {
+    if !rec.is_enabled() {
+        return String::from("telemetry: disabled\n");
+    }
+    let mut s = String::from("== telemetry summary ==\n");
+    let counters = rec.counters();
+    if !counters.is_empty() {
+        s.push_str("counters:\n");
+        for (name, v) in counters {
+            s.push_str(&format!("  {name:<28} {v:>14}\n"));
+        }
+    }
+    let gauges = rec.gauges();
+    if !gauges.is_empty() {
+        s.push_str("gauges:\n");
+        for (name, v) in gauges {
+            s.push_str(&format!("  {name:<28} {v:>14.4}\n"));
+        }
+    }
+    let hists = rec.histograms();
+    if !hists.is_empty() {
+        s.push_str(&format!(
+            "histograms ({}):\n  {:<28} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            "`_us` names are microseconds", "name", "count", "mean", "p50", "p90", "max"
+        ));
+        for (name, h) in hists {
+            let mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
+            s.push_str(&format!(
+                "  {:<28} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                name, h.count, mean, h.p50, h.p90, h.max
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_types() {
+        let r = Recorder::new();
+        r.add("c.total", 3);
+        r.gauge("g.last", 2.5);
+        r.observe("h.us", 100.0);
+        drop(r.span("s.phase_us"));
+        let path = std::env::temp_dir().join("eagle_obs_sink_test.jsonl");
+        write_jsonl(&r, &path, "unit").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every line is valid JSON"))
+            .collect();
+        assert_eq!(lines[0]["type"].as_str(), Some("meta"));
+        assert_eq!(lines[0]["schema_version"].as_u64(), Some(SCHEMA_VERSION));
+        let types: Vec<&str> =
+            lines.iter().filter_map(|l| l["type"].as_str()).collect();
+        for t in ["span", "counter", "gauge", "histogram"] {
+            assert!(types.contains(&t), "missing line type {t}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_recorder_still_writes_valid_meta() {
+        let r = Recorder::disabled();
+        let path = std::env::temp_dir().join("eagle_obs_sink_disabled.jsonl");
+        write_jsonl(&r, &path, "off").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(summary(&r).contains("disabled"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_lists_all_metric_kinds() {
+        let r = Recorder::new();
+        r.add("devsim.evals", 7);
+        r.gauge("rl.loss", -0.5);
+        r.observe("trainer.update_us", 40.0);
+        let s = summary(&r);
+        assert!(s.contains("devsim.evals"));
+        assert!(s.contains("rl.loss"));
+        assert!(s.contains("trainer.update_us"));
+        assert!(s.contains("p90"));
+    }
+}

@@ -1,0 +1,58 @@
+//! The end-of-run telemetry snapshot attached to training results.
+
+use serde::{Deserialize, Serialize};
+
+/// Rollout and cache counters of one training run.
+///
+/// This is the one-stop snapshot a trainer attaches to its result and curve
+/// (it subsumes the former `RolloutStats`): throughput, cache behavior and
+/// evaluation counts in a single value, instead of counters scattered across
+/// the environment (`num_evals`, `cache_stats`) and the curve.
+///
+/// `episodes_per_sec` is real (host) time and thus machine-dependent; every
+/// other field is deterministic for a fixed seed and worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Episodes (placement evaluations) completed per second of host time.
+    pub episodes_per_sec: f64,
+    /// Placement evaluations performed.
+    pub evals: u64,
+    /// Evaluations that came back invalid (OOM).
+    pub invalid_evals: u64,
+    /// Evaluations answered from the placement cache.
+    pub cache_hits: u64,
+    /// Evaluations that ran the simulator.
+    pub cache_misses: u64,
+    /// Cache entries evicted (FIFO) to stay within capacity.
+    pub cache_evictions: u64,
+    /// Fraction of evaluations answered from the cache.
+    pub cache_hit_rate: f64,
+    /// Simulated wall-clock charged for the run's measurements (seconds) —
+    /// the currency of the paper's sample-cost argument (Sec. III-D).
+    pub sim_wall_clock: f64,
+    /// Worker threads the rollout engine ran with (resolved, never 0).
+    pub workers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Telemetry {
+            episodes_per_sec: 12.5,
+            evals: 40,
+            invalid_evals: 3,
+            cache_hits: 10,
+            cache_misses: 30,
+            cache_evictions: 0,
+            cache_hit_rate: 0.25,
+            sim_wall_clock: 1234.5,
+            workers: 4,
+        };
+        let j = serde_json::to_string(&t).unwrap();
+        let back: Telemetry = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -2,6 +2,7 @@
 //! REINFORCE, clipped-surrogate PPO, and PPO joined with cross-entropy minimization
 //! (Post's algorithm).
 
+use eagle_obs::Recorder;
 use eagle_tensor::{optim::Adam, Params};
 
 use crate::policy::StochasticPolicy;
@@ -49,13 +50,20 @@ impl Default for OptimConfig {
 pub struct Reinforce {
     cfg: OptimConfig,
     opt: Adam,
+    recorder: Recorder,
 }
 
 impl Reinforce {
     /// Creates the trainer with its own Adam state.
     pub fn new(cfg: OptimConfig) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { cfg, opt }
+        Self { cfg, opt, recorder: Recorder::disabled() }
+    }
+
+    /// Installs a telemetry recorder (update latency, grad-norm, entropy).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// One gradient step over a batch of samples.
@@ -66,6 +74,7 @@ impl Reinforce {
         batch: &[TrainSample],
     ) -> UpdateStats {
         assert!(!batch.is_empty(), "empty training batch");
+        let _timer = self.recorder.span("rl.reinforce.update_us");
         params.zero_grad();
         let mut loss_total = 0.0f32;
         let mut ent_total = 0.0f32;
@@ -88,7 +97,9 @@ impl Reinforce {
         }
         let grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
         self.opt.step(params);
-        UpdateStats { loss: loss_total, entropy: ent_total * scale, grad_norm }
+        let stats = UpdateStats { loss: loss_total, entropy: ent_total * scale, grad_norm };
+        record_update(&self.recorder, &stats);
+        stats
     }
 }
 
@@ -101,13 +112,20 @@ pub struct Ppo {
     /// Gradient steps per collected batch (paper: 4).
     pub epochs: usize,
     opt: Adam,
+    recorder: Recorder,
 }
 
 impl Ppo {
     /// Creates the trainer (paper defaults: clip 0.3, 4 epochs).
     pub fn new(cfg: OptimConfig, clip: f32, epochs: usize) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { cfg, clip, epochs, opt }
+        Self { cfg, clip, epochs, opt, recorder: Recorder::disabled() }
+    }
+
+    /// Installs a telemetry recorder (update latency, grad-norm, entropy).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs `epochs` gradient steps over the batch.
@@ -118,6 +136,7 @@ impl Ppo {
         batch: &[TrainSample],
     ) -> UpdateStats {
         assert!(!batch.is_empty(), "empty training batch");
+        let _timer = self.recorder.span("rl.ppo.update_us");
         let mut stats = UpdateStats::default();
         let scale = 1.0 / batch.len() as f32;
         for _ in 0..self.epochs {
@@ -149,6 +168,7 @@ impl Ppo {
             stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
             self.opt.step(params);
         }
+        record_update(&self.recorder, &stats);
         stats
     }
 }
@@ -160,13 +180,20 @@ pub struct CrossEntropyMin {
     /// Gradient steps per elite update.
     pub steps: usize,
     opt: Adam,
+    recorder: Recorder,
 }
 
 impl CrossEntropyMin {
     /// Creates the trainer.
     pub fn new(cfg: OptimConfig, steps: usize) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { cfg, steps, opt }
+        Self { cfg, steps, opt, recorder: Recorder::disabled() }
+    }
+
+    /// Installs a telemetry recorder (update latency and grad-norm).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Fits the policy towards the elite action vectors.
@@ -177,6 +204,7 @@ impl CrossEntropyMin {
         elites: &[Vec<usize>],
     ) -> UpdateStats {
         assert!(!elites.is_empty(), "no elites to fit");
+        let _timer = self.recorder.span("rl.ce.update_us");
         let mut stats = UpdateStats::default();
         let scale = 1.0 / elites.len() as f32;
         for _ in 0..self.steps {
@@ -197,8 +225,18 @@ impl CrossEntropyMin {
             stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
             self.opt.step(params);
         }
+        record_update(&self.recorder, &stats);
         stats
     }
+}
+
+/// Records one completed policy update: distribution of gradient norms and
+/// entropies across the run, plus the latest loss.
+fn record_update(rec: &Recorder, stats: &UpdateStats) {
+    rec.add("rl.updates", 1);
+    rec.observe("rl.grad_norm", stats.grad_norm as f64);
+    rec.observe("rl.entropy", stats.entropy as f64);
+    rec.gauge("rl.loss", stats.loss as f64);
 }
 
 /// Selects the indices of the `k` highest-reward samples (ties broken by recency:

@@ -14,11 +14,10 @@ use std::fmt;
 /// spawn overhead would dominate.
 const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
 
-/// Worker threads available for sharded matmuls, queried once per process.
+/// Worker threads available for sharded matmuls — the workspace-wide cached
+/// host parallelism (shared with the rollout engine's worker resolution).
 fn matmul_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS
-        .get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+    eagle_obs::available_workers()
 }
 
 /// A dense matrix of `f32` values in row-major order.

@@ -29,7 +29,11 @@ fn main() {
     );
     assert!(predefined::human_expert(&graph, &machine).is_none());
 
-    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 3);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(3)
+        .build()
+        .expect("bert environment is valid");
     let split = env
         .evaluate_final(&predefined::bert_layer_split(&graph, &machine))
         .expect("layer split fits");

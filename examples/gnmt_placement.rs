@@ -35,7 +35,11 @@ fn main() {
         SimOutcome::Valid(_) => unreachable!("batch-256 GNMT cannot fit one GPU"),
     }
 
-    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 2);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(2)
+        .build()
+        .expect("gnmt environment is valid");
     let expert_placement =
         predefined::human_expert(&graph, &machine).expect("gnmt has an expert placement");
     let expert = env.evaluate_final(&expert_placement).expect("expert placement is valid");

@@ -24,7 +24,11 @@ fn main() {
         graph.total_flops() / 1e9
     );
 
-    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 1);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(1)
+        .build()
+        .expect("inception environment is valid");
 
     // Pre-defined baselines (paper Table IV: both 0.071 s).
     let single = env.evaluate_final(&predefined::single_gpu(&graph, &machine));

@@ -2,6 +2,7 @@
 pub use eagle_core as core;
 pub use eagle_devsim as devsim;
 pub use eagle_nn as nn;
+pub use eagle_obs as obs;
 pub use eagle_opgraph as opgraph;
 pub use eagle_partition as partition;
 pub use eagle_rl as rl;

@@ -11,7 +11,11 @@ use rand_chacha::ChaCha8Rng;
 fn quick_run(mutate: impl FnOnce(&mut TrainerConfig)) -> eagle::core::TrainResult {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 8);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(8)
+        .build()
+        .expect("inception environment is valid");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(8);
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);

@@ -14,7 +14,11 @@ use rand_chacha::ChaCha8Rng;
 fn inception_env(seed: u64) -> (eagle::opgraph::OpGraph, Machine, Environment) {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), seed);
+    let env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(seed)
+        .build()
+        .expect("inception environment is valid");
     (graph, machine, env)
 }
 
@@ -114,7 +118,10 @@ fn eagle_curve_tracks_environment_bookkeeping() {
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
     let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 40));
     // 40 training evals + 1 final re-measurement.
-    assert_eq!(env.num_evals(), 40);
+    let snap = env.snapshot();
+    assert_eq!(snap.evals, 40);
+    assert_eq!(snap.evals, result.telemetry.evals);
     assert!(env.wall_clock() > 0.0);
+    assert_eq!(snap.wall_clock, env.wall_clock());
     assert_eq!(result.curve.num_invalid(), result.num_invalid);
 }

@@ -122,7 +122,11 @@ fn environment_wall_clock_reflects_measurement_cost() {
     // that order of magnitude for good GNMT placements.
     let machine = Machine::paper_machine();
     let graph = Benchmark::Gnmt.graph_for(&machine);
-    let mut env = Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 9);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(9)
+        .build()
+        .expect("gnmt environment is valid");
     let expert = predefined::human_expert(&graph, &machine).unwrap();
     let m = env.evaluate(&expert);
     assert!(m.step_time.is_some());

@@ -130,9 +130,17 @@ proptest! {
             noise_sigma: 0.0,
             ..MeasureConfig::default()
         };
-        let mut cached = Environment::new(g.clone(), m.clone(), cfg.clone(), seed);
-        let mut uncached =
-            Environment::new(g.clone(), m.clone(), cfg, seed).with_cache_capacity(0);
+        let mut cached = Environment::builder(g.clone(), m.clone())
+            .measure(cfg.clone())
+            .seed(seed)
+            .build()
+            .expect("valid cached environment");
+        let mut uncached = Environment::builder(g.clone(), m.clone())
+            .measure(cfg)
+            .seed(seed)
+            .cache_capacity(0)
+            .build()
+            .expect("valid uncached environment");
         // Evaluate twice: the second cached evaluation is a guaranteed hit.
         for round in 0..2 {
             let a = cached.evaluate(&p);
@@ -142,8 +150,8 @@ proptest! {
             prop_assert_eq!(a.step_time, b.step_time,
                 "round {}: noiseless step time must not depend on the cache", round);
         }
-        prop_assert_eq!(cached.cache_stats().hits, 1);
-        prop_assert_eq!(uncached.cache_stats().hits, 0);
+        prop_assert_eq!(cached.snapshot().cache.hits, 1);
+        prop_assert_eq!(uncached.snapshot().cache.hits, 0);
         // And the pure simulation agrees with what the hit returned.
         let base = cached.simulate_base(&p);
         prop_assert_eq!(base.step_time(), cached.evaluate(&p).step_time);

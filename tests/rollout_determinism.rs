@@ -6,15 +6,24 @@
 
 use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainResult, TrainerConfig};
 use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle::obs::Recorder;
 use eagle::tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn run_with_workers(workers: usize) -> TrainResult {
+    run_with_workers_and_recorder(workers, Recorder::disabled())
+}
+
+fn run_with_workers_and_recorder(workers: usize, recorder: Recorder) -> TrainResult {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let mut env =
-        Environment::new(graph.clone(), machine.clone(), MeasureConfig::default(), 42);
+    let mut env = Environment::builder(graph.clone(), machine.clone())
+        .measure(MeasureConfig::default())
+        .seed(42)
+        .recorder(recorder)
+        .build()
+        .expect("inception environment is valid");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
@@ -38,10 +47,35 @@ fn same_seed_same_curve_for_any_worker_count() {
 
     // Cache behavior is part of the contract too: hit/miss classification may
     // not depend on how the minibatch was scheduled.
-    assert_eq!(serial.rollout.cache_hits, parallel.rollout.cache_hits);
-    assert_eq!(serial.rollout.cache_misses, parallel.rollout.cache_misses);
-    assert_eq!(serial.rollout.workers, 1);
-    assert_eq!(parallel.rollout.workers, 4);
+    assert_eq!(serial.telemetry.cache_hits, parallel.telemetry.cache_hits);
+    assert_eq!(serial.telemetry.cache_misses, parallel.telemetry.cache_misses);
+    assert_eq!(serial.telemetry.cache_evictions, parallel.telemetry.cache_evictions);
+    assert_eq!(serial.telemetry.evals, parallel.telemetry.evals);
+    assert_eq!(serial.telemetry.workers, 1);
+    assert_eq!(parallel.telemetry.workers, 4);
+}
+
+#[test]
+fn telemetry_recording_never_changes_the_curve() {
+    // Instrumentation must be observation-only: an enabled recorder may not
+    // perturb sampling, caching, simulated wall-clock or the trained policy.
+    let silent = run_with_workers(2);
+    let recorder = Recorder::new();
+    let recorded = run_with_workers_and_recorder(2, recorder.clone());
+    assert_eq!(silent.curve.points, recorded.curve.points);
+    assert_eq!(silent.best_placement, recorded.best_placement);
+    assert_eq!(silent.final_step_time, recorded.final_step_time);
+    assert_eq!(silent.telemetry.evals, recorded.telemetry.evals);
+    assert_eq!(silent.telemetry.cache_hits, recorded.telemetry.cache_hits);
+    // And the recorder actually saw the run: 40 samples in minibatches of 10.
+    assert_eq!(recorder.counter_value("trainer.minibatches"), 4);
+    assert_eq!(recorder.counter_value("devsim.evals"), 40);
+    assert_eq!(recorder.counter_value("rl.updates"), 4);
+    assert_eq!(recorder.histogram("trainer.sample_us").unwrap().count, 4);
+    assert_eq!(recorder.histogram("trainer.decode_us").unwrap().count, 4);
+    assert_eq!(recorder.histogram("trainer.evaluate_us").unwrap().count, 4);
+    assert_eq!(recorder.histogram("trainer.update_us").unwrap().count, 4);
+    assert_eq!(recorder.histogram("rl.ppo.update_us").unwrap().count, 4);
 }
 
 #[test]
@@ -50,5 +84,5 @@ fn auto_worker_count_matches_serial_too() {
     let auto = run_with_workers(0);
     assert_eq!(serial.curve.points, auto.curve.points);
     assert_eq!(serial.best_placement, auto.best_placement);
-    assert!(auto.rollout.workers >= 1);
+    assert!(auto.telemetry.workers >= 1);
 }
