@@ -20,8 +20,8 @@
 #![warn(missing_docs)]
 
 use eagle_core::{
-    train, AgentScale, Algo, Curve, EagleAgent, FixedGroupAgent, HpAgent,
-    PlacerKind, TrainResult, TrainerConfig,
+    load_checkpoint, train, train_from, AgentScale, Algo, Curve, EagleAgent, FixedGroupAgent,
+    HpAgent, PlacementAgent, PlacerKind, TrainResult, TrainerConfig, CHECKPOINT_FILE,
 };
 use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
 use eagle_obs::Recorder;
@@ -47,6 +47,15 @@ pub struct Cli {
     pub curves: bool,
     /// Telemetry JSONL destination (`--metrics PATH`), if requested.
     pub metrics: Option<std::path::PathBuf>,
+    /// Root directory for training checkpoints (`--checkpoint-dir DIR`); each
+    /// (benchmark, agent, algorithm) run checkpoints into its own subdirectory.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Minibatches between auto-checkpoints (`--checkpoint-every N`, default 10).
+    pub checkpoint_every: usize,
+    /// Resume interrupted runs from their checkpoints (`--resume`; requires
+    /// `--checkpoint-dir`). Runs without a checkpoint start fresh; corrupt
+    /// checkpoints abort rather than being silently clobbered.
+    pub resume: bool,
     /// The run's telemetry recorder: enabled iff `--metrics` was passed,
     /// otherwise a free no-op.
     pub recorder: Recorder,
@@ -61,6 +70,9 @@ impl Cli {
         let mut out_dir = std::path::PathBuf::from("results");
         let mut curves = false;
         let mut metrics: Option<std::path::PathBuf> = None;
+        let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+        let mut checkpoint_every = 10usize;
+        let mut resume = false;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -87,9 +99,23 @@ impl Cli {
                     i += 1;
                     metrics = Some(args.get(i).expect("--metrics needs a value").into());
                 }
+                "--checkpoint-dir" => {
+                    i += 1;
+                    checkpoint_dir =
+                        Some(args.get(i).expect("--checkpoint-dir needs a value").into());
+                }
+                "--checkpoint-every" => {
+                    i += 1;
+                    checkpoint_every = args
+                        .get(i)
+                        .expect("--checkpoint-every needs a value")
+                        .parse()
+                        .expect("number");
+                }
+                "--resume" => resume = true,
                 other => {
                     eprintln!(
-                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH]"
+                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
                     );
                     std::process::exit(2);
                 }
@@ -98,9 +124,25 @@ impl Cli {
         }
         let scale = AgentScale::from_name(&scale_name)
             .unwrap_or_else(|| panic!("unknown scale '{scale_name}'"));
+        if resume && checkpoint_dir.is_none() {
+            eprintln!("--resume requires --checkpoint-dir DIR");
+            std::process::exit(2);
+        }
         let recorder =
             if metrics.is_some() { Recorder::new() } else { Recorder::disabled() };
-        Self { scale, scale_name, samples_override, seed, out_dir, curves, metrics, recorder }
+        Self {
+            scale,
+            scale_name,
+            samples_override,
+            seed,
+            out_dir,
+            curves,
+            metrics,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
+            recorder,
+        }
     }
 
     /// Default per-model training budgets at this scale: larger graphs get more
@@ -156,6 +198,23 @@ pub enum AgentKind {
     Post,
 }
 
+impl AgentKind {
+    /// Filesystem-safe identifier used to give each run its own checkpoint
+    /// subdirectory.
+    pub fn slug(self) -> String {
+        match self {
+            AgentKind::Eagle => "eagle".to_string(),
+            AgentKind::HierarchicalPlanner => "hp".to_string(),
+            AgentKind::FixedGroups(g, p) => {
+                format!("{}-{}", g.label(), p.label())
+                    .to_lowercase()
+                    .replace(|c: char| !c.is_ascii_alphanumeric(), "-")
+            }
+            AgentKind::Post => "post".to_string(),
+        }
+    }
+}
+
 /// Which fixed grouping a [`AgentKind::FixedGroups`] agent uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GrouperKind {
@@ -194,6 +253,49 @@ pub struct RunOutcome {
     pub num_invalid: usize,
 }
 
+/// Starts training fresh, or — when `resume` is set and `cfg.checkpoint_dir`
+/// holds a readable checkpoint — continues the interrupted run bit-identically.
+///
+/// A missing checkpoint file starts fresh (the normal first run); a corrupt,
+/// truncated, or mismatched one aborts with the typed error's message rather
+/// than silently clobbering state the user asked to keep.
+pub fn train_resumable(
+    agent: &(impl PlacementAgent + Sync),
+    params: &mut Params,
+    env: &mut Environment,
+    cfg: &TrainerConfig,
+    resume: bool,
+) -> TrainResult {
+    if resume {
+        if let Some(dir) = &cfg.checkpoint_dir {
+            let path = dir.join(CHECKPOINT_FILE);
+            match load_checkpoint(&path) {
+                Ok(state) => {
+                    println!(
+                        "resuming {} from {} (sample {}/{})",
+                        agent.name(),
+                        path.display(),
+                        state.samples,
+                        cfg.total_samples
+                    );
+                    return train_from(agent, params, env, cfg, state).unwrap_or_else(|e| {
+                        eprintln!("cannot resume from {}: {e}", path.display());
+                        std::process::exit(3);
+                    });
+                }
+                Err(e) if e.is_not_found() => {
+                    println!("no checkpoint at {}; starting fresh", path.display());
+                }
+                Err(e) => {
+                    eprintln!("refusing to resume: {}: {e}", path.display());
+                    std::process::exit(3);
+                }
+            }
+        }
+    }
+    train(agent, params, env, cfg)
+}
+
 /// Trains the given agent kind on a benchmark and returns the outcome.
 /// The environment seed is fixed per benchmark so approaches see identical noise.
 pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
@@ -210,11 +312,23 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
     let samples = cli.samples_for(b);
     let mut cfg = TrainerConfig::paper(algo, samples);
     cfg.seed = cli.seed.wrapping_add(13);
+    if let Some(root) = &cli.checkpoint_dir {
+        // One subdirectory per (benchmark, agent, algorithm) so table binaries
+        // that train many agents checkpoint each run independently.
+        let slug = format!(
+            "{}-{}-{}",
+            b.name().to_lowercase().replace(|c: char| !c.is_ascii_alphanumeric(), "-"),
+            kind.slug(),
+            algo.label().to_lowercase().replace(|c: char| !c.is_ascii_alphanumeric(), "-"),
+        );
+        cfg.checkpoint_dir = Some(root.join(slug));
+        cfg.checkpoint_every = Some(cli.checkpoint_every);
+    }
 
     let result: TrainResult = match kind {
         AgentKind::Eagle => {
             let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
-            train(&agent, &mut params, &mut env, &cfg)
+            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
         }
         AgentKind::HierarchicalPlanner => {
             // HP's per-op grouping decisions make each sample several times more
@@ -222,7 +336,7 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
             // convergence behaviour is visible well within this budget).
             cfg.total_samples = samples.min(samples / 2 + 100);
             let agent = HpAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
-            train(&agent, &mut params, &mut env, &cfg)
+            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
         }
         AgentKind::FixedGroups(grouper, placer) => {
             let k = cli.scale.num_groups.min(graph.len());
@@ -238,7 +352,7 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
                 cli.scale,
                 &mut rng,
             );
-            train(&agent, &mut params, &mut env, &cfg)
+            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
         }
         AgentKind::Post => {
             let k = cli.scale.num_groups.min(graph.len());
@@ -252,7 +366,7 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
                 cli.scale,
                 &mut rng,
             );
-            train(&agent, &mut params, &mut env, &cfg)
+            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
         }
     };
 

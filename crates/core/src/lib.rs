@@ -35,7 +35,11 @@ mod scale;
 mod trainer;
 
 pub use agents::{EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent, PlacerKind};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointError, TrainerState, CHECKPOINT_FILE,
+    CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use curve::{Curve, CurvePoint};
 pub use eagle_obs::Telemetry;
 pub use scale::AgentScale;
-pub use trainer::{train, Algo, TrainResult, TrainerConfig};
+pub use trainer::{train, train_from, Algo, ResumeError, TrainResult, TrainerConfig};

@@ -1,12 +1,21 @@
 //! The training driver: samples placements from an agent, measures them in the
 //! environment, shapes rewards, and applies the selected RL algorithm — the outer
 //! loop of every experiment in the paper.
+//!
+//! The loop is *resumable*: [`train`] starts fresh, [`train_from`] continues from
+//! a [`TrainerState`] captured at a minibatch boundary (see
+//! [`crate::checkpoint`]), and the two compose bit-identically — a run killed
+//! after minibatch *k* and resumed produces the same curve, parameters and best
+//! placement as an uninterrupted run with the same seed.
 
-use eagle_devsim::{Environment, Placement};
+use std::collections::VecDeque;
+
+use eagle_devsim::{EnvSnapshot, Environment, EnvStateError, Placement, RngState};
 use eagle_rl::{
     top_k_indices, CrossEntropyMin, EmaBaseline, OptimConfig, Ppo, Reinforce, RewardTransform,
     TrainSample,
 };
+use eagle_tensor::optim::Adam;
 use eagle_tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -14,6 +23,7 @@ use rand_chacha::ChaCha8Rng;
 use eagle_obs::Telemetry;
 
 use crate::agents::PlacementAgent;
+use crate::checkpoint::{save_checkpoint, TrainerState, CHECKPOINT_FILE};
 use crate::curve::Curve;
 
 /// Which training algorithm drives the agent (paper Sec. III-D).
@@ -79,6 +89,21 @@ pub struct TrainerConfig {
     /// identical for every value — only host wall-time changes (see DESIGN.md,
     /// "Parallel rollout engine").
     pub workers: usize,
+    /// Rolling window (in samples) of the action/reward history kept for CE
+    /// elite selection. The effective window is
+    /// `max(history_window, ce_interval, ce_elites)`, so CE always sees at
+    /// least one full interval. Bounding the history fixes the unbounded memory
+    /// growth the earlier trainer had on long runs (it retained every sample of
+    /// the run) and bounds checkpoint size.
+    pub history_window: usize,
+    /// Auto-checkpoint period in minibatches; requires `checkpoint_dir` to also
+    /// be set. `None` (the default) disables auto-checkpointing.
+    pub checkpoint_every: Option<usize>,
+    /// Directory checkpoints are written into (as
+    /// [`CHECKPOINT_FILE`](crate::checkpoint::CHECKPOINT_FILE)); created on
+    /// first save. A failed save is logged and counted
+    /// (`trainer.checkpoint_errors`), never fatal to the run.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl TrainerConfig {
@@ -101,6 +126,9 @@ impl TrainerConfig {
             seed: 7,
             algo,
             workers: 0,
+            history_window: 512,
+            checkpoint_every: None,
+            checkpoint_dir: None,
         }
     }
 }
@@ -123,12 +151,70 @@ pub struct TrainResult {
     pub telemetry: Telemetry,
 }
 
-/// Runs the full training loop of `agent` against `env`.
+/// Why a [`TrainerState`] could not be applied to the given agent/params/env.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The checkpoint was produced by a different agent (curve labels differ).
+    AgentMismatch {
+        /// Agent label recorded in the checkpoint.
+        checkpoint: String,
+        /// Label of the agent passed to [`train_from`].
+        agent: String,
+    },
+    /// The checkpointed parameters do not match the agent's parameter layout.
+    ParamMismatch(String),
+    /// The checkpointed trainer RNG state is malformed.
+    Rng(EnvStateError),
+    /// The checkpointed environment state does not fit this environment.
+    Env(EnvStateError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::AgentMismatch { checkpoint, agent } => write!(
+                f,
+                "checkpoint was trained with agent '{checkpoint}', cannot resume with '{agent}'"
+            ),
+            ResumeError::ParamMismatch(m) => write!(f, "parameter layout mismatch: {m}"),
+            ResumeError::Rng(e) => write!(f, "trainer RNG state: {e}"),
+            ResumeError::Env(e) => write!(f, "environment state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// All mutable loop state, threaded through `run_loop` so fresh starts and
+/// resumes share one code path.
+struct LoopState {
+    rng: ChaCha8Rng,
+    baseline: EmaBaseline,
+    curve: Curve,
+    history_actions: VecDeque<Vec<usize>>,
+    history_rewards: VecDeque<f64>,
+    since_ce: usize,
+    best: Option<(f64, Placement)>,
+    num_invalid: usize,
+    samples: usize,
+    minibatches: u64,
+    /// Environment snapshot at the *logical* start of the run (survives
+    /// resumes), used as the telemetry baseline.
+    start: EnvSnapshot,
+    /// Optimizer states to restore into the algorithm objects (resume only).
+    restored_opts: Option<(Adam, Adam, Adam)>,
+}
+
+/// Runs the full training loop of `agent` against `env`, starting fresh.
 ///
 /// Sampling stays serial and seeded, so the action sequences — and therefore
 /// the curve, the trained policy and the best placement — are bit-identical
 /// for every `cfg.workers` value. Only the pure parts of each episode
 /// (`agent.decode` and the placement simulation) fan out across threads.
+///
+/// With `cfg.checkpoint_every` and `cfg.checkpoint_dir` both set, the loop
+/// additionally saves a resumable [`TrainerState`] every *k* minibatches; pass
+/// a loaded state to [`train_from`] to continue bit-identically.
 pub fn train(
     agent: &(impl PlacementAgent + Sync),
     params: &mut Params,
@@ -136,37 +222,141 @@ pub fn train(
     cfg: &TrainerConfig,
 ) -> TrainResult {
     assert!(cfg.minibatch > 0, "minibatch must be positive");
+    let state = LoopState {
+        rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+        baseline: EmaBaseline::new(cfg.ema_alpha),
+        curve: Curve::new(agent.name()),
+        history_actions: VecDeque::new(),
+        history_rewards: VecDeque::new(),
+        since_ce: 0,
+        best: None,
+        num_invalid: 0,
+        samples: 0,
+        minibatches: 0,
+        start: env.snapshot(),
+        restored_opts: None,
+    };
+    run_loop(agent, params, env, cfg, state)
+}
+
+/// Resumes training from a checkpointed [`TrainerState`].
+///
+/// The caller reconstructs the immutable inputs exactly as the original run
+/// did — same agent architecture and scale, same environment graph/machine/
+/// measurement config, same `cfg` — and this function restores every mutable
+/// piece: parameters, the three optimizers' moments, the trainer RNG position,
+/// the EMA baseline, the CE history window, the curve, and the environment
+/// (noise RNG, placement cache, wall-clock, counters). The continuation is
+/// bit-identical to the uninterrupted run (locked by
+/// `tests/checkpoint_resume.rs`).
+///
+/// Fails with a typed [`ResumeError`] — never a panic — when the state does not
+/// fit the given agent, parameter layout, or environment; on failure `params`
+/// and `env` are left unmodified.
+pub fn train_from(
+    agent: &(impl PlacementAgent + Sync),
+    params: &mut Params,
+    env: &mut Environment,
+    cfg: &TrainerConfig,
+    state: TrainerState,
+) -> Result<TrainResult, ResumeError> {
+    assert!(cfg.minibatch > 0, "minibatch must be positive");
+    if state.curve.label != agent.name() {
+        return Err(ResumeError::AgentMismatch {
+            checkpoint: state.curve.label.clone(),
+            agent: agent.name().to_string(),
+        });
+    }
+    check_param_layout(params, &state.params)?;
+    let rng = state.rng.restore().map_err(ResumeError::Rng)?;
+    env.restore_state(&state.env).map_err(ResumeError::Env)?;
+    *params = state.params;
+
+    let loop_state = LoopState {
+        rng,
+        baseline: state.baseline,
+        curve: state.curve,
+        history_actions: state.history_actions.into(),
+        history_rewards: state.history_rewards.into(),
+        since_ce: state.since_ce as usize,
+        best: state.best,
+        num_invalid: state.num_invalid as usize,
+        samples: state.samples as usize,
+        minibatches: state.minibatches,
+        start: state.start_snapshot,
+        restored_opts: Some((state.opt_reinforce, state.opt_ppo, state.opt_ce)),
+    };
+    Ok(run_loop(agent, params, env, cfg, loop_state))
+}
+
+/// Rejects a resume whose checkpointed parameters were built by a different
+/// architecture than the live agent's (count, names, or shapes differ).
+fn check_param_layout(current: &Params, saved: &Params) -> Result<(), ResumeError> {
+    if current.len() != saved.len() {
+        return Err(ResumeError::ParamMismatch(format!(
+            "checkpoint has {} tensors, agent built {}",
+            saved.len(),
+            current.len()
+        )));
+    }
+    for id in current.ids() {
+        if current.name(id) != saved.name(id) {
+            return Err(ResumeError::ParamMismatch(format!(
+                "tensor {} is '{}' in the checkpoint but '{}' in the agent",
+                id.index(),
+                saved.name(id),
+                current.name(id)
+            )));
+        }
+        if current.get(id).shape() != saved.get(id).shape() {
+            return Err(ResumeError::ParamMismatch(format!(
+                "tensor '{}' is {:?} in the checkpoint but {:?} in the agent",
+                current.name(id),
+                saved.get(id).shape(),
+                current.get(id).shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The shared minibatch loop behind [`train`] and [`train_from`].
+fn run_loop(
+    agent: &(impl PlacementAgent + Sync),
+    params: &mut Params,
+    env: &mut Environment,
+    cfg: &TrainerConfig,
+    mut st: LoopState,
+) -> TrainResult {
     let host_start = std::time::Instant::now();
-    let start = env.snapshot();
+    let samples_at_entry = st.samples;
     let rec = env.recorder().clone();
     let workers = eagle_devsim::resolve_workers(cfg.workers);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut baseline = EmaBaseline::new(cfg.ema_alpha);
-    let mut curve = Curve::new(agent.name());
 
     let mut reinforce = Reinforce::new(cfg.optim.clone()).with_recorder(rec.clone());
     let mut ppo =
         Ppo::new(cfg.optim.clone(), cfg.ppo_clip, cfg.ppo_epochs).with_recorder(rec.clone());
     let mut ce = CrossEntropyMin::new(cfg.optim.clone(), cfg.ce_steps).with_recorder(rec.clone());
+    if let Some((r, p, c)) = st.restored_opts.take() {
+        reinforce.restore_optimizer(r);
+        ppo.restore_optimizer(p);
+        ce.restore_optimizer(c);
+    }
 
-    // Sample history for elite selection (actions + reward).
-    let mut history_actions: Vec<Vec<usize>> = Vec::new();
-    let mut history_rewards: Vec<f64> = Vec::new();
-    let mut since_ce = 0usize;
+    // CE elite pool: a rolling window so memory (and checkpoint size) stays
+    // bounded on long runs, but never smaller than one CE interval.
+    let window = cfg.history_window.max(cfg.ce_interval).max(cfg.ce_elites);
 
-    let mut best: Option<(f64, Placement)> = None;
-    let mut num_invalid = 0usize;
-    let mut samples = 0usize;
-
-    while samples < cfg.total_samples {
-        let batch_size = cfg.minibatch.min(cfg.total_samples - samples);
+    while st.samples < cfg.total_samples {
+        let batch_size = cfg.minibatch.min(cfg.total_samples - st.samples);
         rec.add("trainer.minibatches", 1);
 
         // Phase A (serial, seeded): draw the minibatch's action sequences.
         // This is the only consumer of the trainer RNG, so batching preserves
         // the exact serial action stream.
         let sample_span = rec.span("trainer.sample_us");
-        let drawn: Vec<_> = (0..batch_size).map(|_| agent.sample(params, &mut rng)).collect();
+        let drawn: Vec<_> =
+            (0..batch_size).map(|_| agent.sample(params, &mut st.rng)).collect();
         drop(sample_span);
 
         // Phase B (parallel): decode actions into placements — a pure forward
@@ -210,29 +400,29 @@ pub fn train(
         for (((actions, old_log_prob), placement), meas) in
             drawn.into_iter().zip(&placements).zip(&measurements)
         {
-            samples += 1;
-            since_ce += 1;
+            st.samples += 1;
+            st.since_ce += 1;
             let reward = match meas.step_time {
                 Some(t) => {
-                    if best.as_ref().is_none_or(|(b, _)| t < *b) {
-                        best = Some((t, placement.clone()));
+                    if st.best.as_ref().is_none_or(|(b, _)| t < *b) {
+                        st.best = Some((t, placement.clone()));
                     }
                     cfg.reward.apply(t)
                 }
                 None => {
-                    num_invalid += 1;
+                    st.num_invalid += 1;
                     cfg.reward.apply(cfg.invalid_penalty_time)
                 }
             };
             wall += meas.wall_cost;
-            curve.push(samples as u64, wall, meas.step_time);
+            st.curve.push(st.samples as u64, wall, meas.step_time);
             let advantage = if cfg.use_baseline {
-                baseline.advantage(reward) as f32
+                st.baseline.advantage(reward) as f32
             } else {
                 reward as f32
             };
-            history_actions.push(actions.clone());
-            history_rewards.push(reward);
+            st.history_actions.push_back(actions.clone());
+            st.history_rewards.push_back(reward);
             batch.push(TrainSample { actions, old_log_prob, advantage });
         }
 
@@ -259,20 +449,69 @@ pub fn train(
             }
             Algo::PpoCe => {
                 ppo.update(agent, params, &batch);
-                if since_ce >= cfg.ce_interval {
-                    since_ce = 0;
-                    let top = top_k_indices(&history_rewards, cfg.ce_elites);
+                if st.since_ce >= cfg.ce_interval {
+                    st.since_ce = 0;
+                    let rewards: &[f64] = st.history_rewards.make_contiguous();
+                    let top = top_k_indices(rewards, cfg.ce_elites);
                     let elites: Vec<Vec<usize>> =
-                        top.iter().map(|&i| history_actions[i].clone()).collect();
+                        top.iter().map(|&i| st.history_actions[i].clone()).collect();
                     ce.update(agent, params, &elites);
                 }
             }
         }
         drop(update_span);
+
+        // End of minibatch: trim the history window, then (optionally)
+        // checkpoint — trimming first keeps the on-disk state identical to the
+        // in-memory state a resume will rebuild.
+        while st.history_actions.len() > window {
+            st.history_actions.pop_front();
+            st.history_rewards.pop_front();
+        }
+        st.minibatches += 1;
+
+        if let (Some(every), Some(dir)) = (cfg.checkpoint_every, &cfg.checkpoint_dir) {
+            if every > 0 && st.minibatches.is_multiple_of(every as u64) {
+                let snapshot = TrainerState {
+                    samples: st.samples as u64,
+                    minibatches: st.minibatches,
+                    num_invalid: st.num_invalid as u64,
+                    since_ce: st.since_ce as u64,
+                    rng: RngState::capture(&st.rng),
+                    baseline: st.baseline.clone(),
+                    history_actions: st.history_actions.iter().cloned().collect(),
+                    history_rewards: st.history_rewards.iter().copied().collect(),
+                    best: st.best.clone(),
+                    curve: st.curve.clone(),
+                    params: params.clone(),
+                    opt_reinforce: reinforce.optimizer().clone(),
+                    opt_ppo: ppo.optimizer().clone(),
+                    opt_ce: ce.optimizer().clone(),
+                    env: env.save_state(),
+                    start_snapshot: st.start,
+                };
+                let save = std::fs::create_dir_all(dir)
+                    .map_err(|e| crate::checkpoint::CheckpointError::Io(e).to_string())
+                    .and_then(|()| {
+                        save_checkpoint(&snapshot, dir.join(CHECKPOINT_FILE))
+                            .map_err(|e| e.to_string())
+                    });
+                match save {
+                    Ok(()) => rec.add("trainer.checkpoints", 1),
+                    Err(e) => {
+                        rec.add("trainer.checkpoint_errors", 1);
+                        eprintln!(
+                            "warning: checkpoint save to {} failed: {e}",
+                            dir.display()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     // Final 1,000-step measurement of the best placement (paper protocol).
-    let (best_placement, final_step_time) = match best {
+    let (best_placement, final_step_time) = match st.best {
         Some((_, p)) => {
             let t = env.evaluate_final(&p);
             (Some(p), t)
@@ -280,10 +519,15 @@ pub fn train(
         None => (None, None),
     };
 
-    let run = env.snapshot().since(&start);
+    let run = env.snapshot().since(&st.start);
     let elapsed = host_start.elapsed().as_secs_f64();
+    let samples_this_process = st.samples - samples_at_entry;
     let telemetry = Telemetry {
-        episodes_per_sec: if elapsed > 0.0 { samples as f64 / elapsed } else { 0.0 },
+        episodes_per_sec: if elapsed > 0.0 {
+            samples_this_process as f64 / elapsed
+        } else {
+            0.0
+        },
         evals: run.evals,
         invalid_evals: run.invalid_evals,
         cache_hits: run.cache.hits,
@@ -293,15 +537,23 @@ pub fn train(
         sim_wall_clock: run.wall_clock,
         workers,
     };
-    curve.telemetry = Some(telemetry);
+    st.curve.telemetry = Some(telemetry);
 
-    TrainResult { best_placement, final_step_time, curve, num_invalid, samples, telemetry }
+    TrainResult {
+        best_placement,
+        final_step_time,
+        curve: st.curve,
+        num_invalid: st.num_invalid,
+        samples: st.samples,
+        telemetry,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::agents::{EagleAgent, FixedGroupAgent, PlacerKind};
+    use crate::checkpoint::load_checkpoint;
     use crate::scale::AgentScale;
     use eagle_devsim::{Machine, MeasureConfig};
     use eagle_opgraph::builders;
@@ -387,6 +639,77 @@ mod tests {
             assert!(p.wall_clock >= prev);
             prev = p.wall_clock;
         }
+    }
+
+    #[test]
+    fn history_window_bounds_memory() {
+        // A window smaller than the run length must not change short-run
+        // behaviour for non-CE algos, and the checkpoint must carry at most
+        // `max(history_window, ce_interval, ce_elites)` samples.
+        let (g, m, mut env) = tiny_env();
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, 80);
+        cfg.history_window = 1; // effective window = ce_interval = 50
+        let dir = std::env::temp_dir().join("eagle-trainer-window-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.checkpoint_every = Some(1);
+        let result = train(&agent, &mut params, &mut env, &cfg);
+        assert_eq!(result.samples, 80);
+        let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).unwrap();
+        assert_eq!(state.history_actions.len(), 50, "window clamps to ce_interval");
+        assert_eq!(state.history_rewards.len(), 50);
+        assert_eq!(state.samples, 80);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_wrong_agent_and_params() {
+        let (g, m, mut env) = tiny_env();
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, 20);
+        let dir = std::env::temp_dir().join("eagle-trainer-reject-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.checkpoint_every = Some(1);
+        train(&agent, &mut params, &mut env, &cfg);
+        let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).unwrap();
+
+        // Different agent type: label mismatch.
+        let mut other_params = Params::new();
+        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        let group_of: Vec<usize> = (0..g.len()).map(|i| i * 2 / g.len()).collect();
+        let other = FixedGroupAgent::new(
+            &mut other_params,
+            "other",
+            &g,
+            &m,
+            group_of,
+            2,
+            PlacerKind::Simple,
+            AgentScale::tiny(),
+            &mut rng2,
+        );
+        let (_, _, mut env2) = tiny_env();
+        match train_from(&other, &mut other_params, &mut env2, &cfg, state.clone()) {
+            Err(ResumeError::AgentMismatch { .. }) => {}
+            other => panic!("expected AgentMismatch, got {other:?}"),
+        }
+
+        // Same agent type at a different scale: parameter layout mismatch.
+        let mut big_params = Params::new();
+        let mut rng3 = ChaCha8Rng::seed_from_u64(5);
+        let big = EagleAgent::new(&mut big_params, &g, &m, AgentScale::quick(), &mut rng3);
+        let (_, _, mut env3) = tiny_env();
+        match train_from(&big, &mut big_params, &mut env3, &cfg, state) {
+            Err(ResumeError::ParamMismatch(_)) => {}
+            other => panic!("expected ParamMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl BaseEval {
 }
 
 /// Hit/miss/eviction counters of a [`PlacementCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Evaluations answered from the cache.
     pub hits: u64,
@@ -105,6 +105,11 @@ impl PlacementCache {
         self.capacity > 0
     }
 
+    /// Maximum number of cached placements (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of cached placements.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -142,6 +147,42 @@ impl PlacementCache {
     /// against an episode earlier in the same minibatch).
     pub(crate) fn note_duplicate_hit(&mut self) {
         self.stats.hits += 1;
+    }
+
+    /// The cached entries in FIFO (insertion) order, as raw device-assignment
+    /// bytes plus the memoized outcome — the serializable view a checkpoint
+    /// persists so a resumed run replays the same hits, misses and evictions.
+    pub fn entries_fifo(&self) -> impl Iterator<Item = (&[u8], BaseEval)> + '_ {
+        self.order.iter().map(|key| {
+            let base = *self.map.get(key.as_ref()).expect("order and map stay in sync");
+            (key.as_ref(), base)
+        })
+    }
+
+    /// Rebuilds a cache from a persisted snapshot: `entries` in FIFO order
+    /// (oldest first) and the lifetime counters.
+    ///
+    /// # Panics
+    /// Panics if more entries are supplied than `capacity` holds — a snapshot
+    /// taken by [`PlacementCache::entries_fifo`] can never contain more.
+    pub fn restore(
+        capacity: usize,
+        entries: impl IntoIterator<Item = (Box<[u8]>, BaseEval)>,
+        stats: CacheStats,
+    ) -> Self {
+        let mut map = HashMap::new();
+        let mut order = VecDeque::new();
+        for (key, base) in entries {
+            if map.insert(key.clone(), base).is_none() {
+                order.push_back(key);
+            }
+        }
+        assert!(
+            map.len() <= capacity,
+            "cache snapshot holds {} entries but capacity is {capacity}",
+            map.len()
+        );
+        Self { capacity, map, order, stats }
     }
 
     /// Stores an outcome, evicting the oldest entry when full. No-op when
@@ -214,6 +255,24 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.lookup(&p(&[0])), None);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn entries_roundtrip_preserves_fifo_and_stats() {
+        let mut c = PlacementCache::new(3);
+        c.insert(&p(&[0]), BaseEval::Invalid);
+        c.insert(&p(&[1]), BaseEval::Valid { step_time: 1.5 });
+        c.insert(&p(&[2]), BaseEval::Valid { step_time: 2.5 });
+        let _ = c.lookup(&p(&[1]));
+        let entries: Vec<(Box<[u8]>, BaseEval)> =
+            c.entries_fifo().map(|(k, b)| (k.to_vec().into_boxed_slice(), b)).collect();
+        let mut r = PlacementCache::restore(3, entries, c.stats());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.stats(), c.stats());
+        // FIFO order survives: the next insert must evict [0], not [1] or [2].
+        assert!(r.insert(&p(&[9]), BaseEval::Invalid));
+        assert_eq!(r.lookup(&p(&[0])), None);
+        assert_eq!(r.lookup(&p(&[1])), Some(BaseEval::Valid { step_time: 1.5 }));
     }
 
     #[test]

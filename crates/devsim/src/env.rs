@@ -144,7 +144,7 @@ impl EnvironmentBuilder {
 /// Counter snapshot of one environment: evaluations, OOMs, simulated
 /// wall-clock and cache behavior in a single value — the one-call replacement
 /// for the deprecated `num_evals`/`cache_stats` pair.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EnvSnapshot {
     /// Placement evaluations performed (training protocol only).
     pub evals: u64,
@@ -166,6 +166,111 @@ impl EnvSnapshot {
             cache: self.cache.since(&earlier.cache),
         }
     }
+}
+
+/// Serializable snapshot of a [`ChaCha8Rng`] stream position — the piece of
+/// environment (and trainer) state that makes a resumed run continue the
+/// *same* random sequence instead of restarting it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RngState {
+    key: Vec<u32>,
+    counter: u64,
+    block: Vec<u32>,
+    index: u64,
+}
+
+impl RngState {
+    /// Captures the generator's current position.
+    pub fn capture(rng: &ChaCha8Rng) -> Self {
+        let s = rng.state();
+        Self {
+            key: s.key.to_vec(),
+            counter: s.counter,
+            block: s.block.to_vec(),
+            index: s.index as u64,
+        }
+    }
+
+    /// Rebuilds the generator at the captured position. Fails (typed, no
+    /// panic) when the snapshot was corrupted or hand-edited out of range.
+    pub fn restore(&self) -> Result<ChaCha8Rng, EnvStateError> {
+        let key: [u32; 8] = self
+            .key
+            .as_slice()
+            .try_into()
+            .map_err(|_| EnvStateError::BadRng(format!("key has {} words, want 8", self.key.len())))?;
+        let block: [u32; 16] = self.block.as_slice().try_into().map_err(|_| {
+            EnvStateError::BadRng(format!("block has {} words, want 16", self.block.len()))
+        })?;
+        if self.index > 16 {
+            return Err(EnvStateError::BadRng(format!("word index {} > 16", self.index)));
+        }
+        Ok(ChaCha8Rng::from_state(rand_chacha::ChaCha8State {
+            key,
+            counter: self.counter,
+            block,
+            index: self.index as usize,
+        }))
+    }
+}
+
+/// Why an [`EnvState`] snapshot could not be restored into an environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvStateError {
+    /// The RNG snapshot is malformed (wrong word counts / position).
+    BadRng(String),
+    /// A persisted placement does not fit this environment's graph/machine.
+    BadPlacement(String),
+    /// The persisted cache does not fit this environment's graph/machine.
+    BadCache(String),
+}
+
+impl std::fmt::Display for EnvStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvStateError::BadRng(m) => write!(f, "bad RNG snapshot: {m}"),
+            EnvStateError::BadPlacement(m) => write!(f, "bad placement snapshot: {m}"),
+            EnvStateError::BadCache(m) => write!(f, "bad cache snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvStateError {}
+
+/// One persisted placement-cache entry: raw device bytes and the memoized
+/// noiseless outcome (`None` = remembered OOM).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheEntryState {
+    /// Device index per op, in op order.
+    pub devices: Vec<u8>,
+    /// Noiseless per-step time; `None` for a cached OOM verdict.
+    pub step_time: Option<f64>,
+}
+
+/// The complete mutable state of an [`Environment`], serializable for
+/// checkpoint/resume: RNG position, counters, simulated wall-clock, the best
+/// placement seen, and the placement cache (contents in FIFO order plus its
+/// lifetime counters). The immutable configuration — graph, machine,
+/// [`MeasureConfig`], seed, recorder — is *not* included: the caller rebuilds
+/// the environment identically and then applies this state on top.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnvState {
+    /// Measurement-noise RNG position.
+    pub rng: RngState,
+    /// Evaluations performed.
+    pub evals: u64,
+    /// Invalid (OOM) evaluations.
+    pub invalid: u64,
+    /// Simulated wall-clock charged so far (seconds).
+    pub wall_clock: f64,
+    /// Best valid placement and its noisy measured step time.
+    pub best: Option<(f64, Placement)>,
+    /// Placement-cache capacity of the checkpointed run.
+    pub cache_capacity: u64,
+    /// Lifetime cache counters.
+    pub cache_stats: CacheStats,
+    /// Cached placements in FIFO (insertion) order.
+    pub cache_entries: Vec<CacheEntryState>,
 }
 
 /// Measurement-protocol knobs.
@@ -268,6 +373,82 @@ impl Environment {
     /// unless one was installed via the builder).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Captures the environment's complete mutable state for checkpointing:
+    /// noise-RNG position, counters, wall-clock, best placement, and the full
+    /// placement cache. See [`EnvState`] for what is (and is not) included.
+    pub fn save_state(&self) -> EnvState {
+        EnvState {
+            rng: RngState::capture(&self.rng),
+            evals: self.evals,
+            invalid: self.invalid,
+            wall_clock: self.wall_clock,
+            best: self.best.clone(),
+            cache_capacity: self.cache.capacity() as u64,
+            cache_stats: self.cache.stats(),
+            cache_entries: self
+                .cache
+                .entries_fifo()
+                .map(|(devices, base)| CacheEntryState {
+                    devices: devices.to_vec(),
+                    step_time: base.step_time(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a state captured by [`Environment::save_state`] into this
+    /// environment, which must have been built over the same graph and
+    /// machine. Configuration (measure protocol, recorder) is kept from the
+    /// live environment; RNG position, counters, wall-clock, best placement
+    /// and the cache — including its capacity — come from the snapshot, so
+    /// the environment continues bit-identically to the checkpointed run.
+    pub fn restore_state(&mut self, state: &EnvState) -> Result<(), EnvStateError> {
+        let rng = state.rng.restore()?;
+        let n_ops = self.graph.len();
+        let n_dev = self.machine.num_devices();
+        if let Some((_, p)) = &state.best {
+            p.validate(&self.graph, &self.machine)
+                .map_err(EnvStateError::BadPlacement)?;
+        }
+        let entries: Vec<(Box<[u8]>, BaseEval)> = state
+            .cache_entries
+            .iter()
+            .map(|e| {
+                if e.devices.len() != n_ops {
+                    return Err(EnvStateError::BadCache(format!(
+                        "cache entry covers {} ops but graph has {n_ops}",
+                        e.devices.len()
+                    )));
+                }
+                if let Some(&d) = e.devices.iter().find(|&&d| (d as usize) >= n_dev) {
+                    return Err(EnvStateError::BadCache(format!(
+                        "cache entry uses nonexistent device {d}"
+                    )));
+                }
+                let base = match e.step_time {
+                    Some(step_time) => BaseEval::Valid { step_time },
+                    None => BaseEval::Invalid,
+                };
+                Ok((e.devices.clone().into_boxed_slice(), base))
+            })
+            .collect::<Result<_, _>>()?;
+        if entries.len() as u64 > state.cache_capacity {
+            return Err(EnvStateError::BadCache(format!(
+                "{} cached entries exceed capacity {}",
+                entries.len(),
+                state.cache_capacity
+            )));
+        }
+        self.rng = rng;
+        self.evals = state.evals;
+        self.invalid = state.invalid;
+        self.wall_clock = state.wall_clock;
+        self.best = state.best.clone();
+        self.cache =
+            PlacementCache::restore(state.cache_capacity as usize, entries, state.cache_stats);
+        Ok(())
     }
 
     /// Hit/miss counters of the placement cache.
@@ -652,6 +833,72 @@ mod tests {
         let t = env.evaluate_final(&p).unwrap();
         let exact = 2.0 * (30e-6 + 1e-3);
         assert!((t - exact).abs() / exact < 0.011, "1000-step estimate is tight: {t}");
+    }
+
+    #[test]
+    fn save_restore_state_continues_bit_identically() {
+        let m = Machine::paper_machine();
+        let mk = || env(tiny_graph(), &m, MeasureConfig::default(), 17);
+        let batch = [
+            Placement::uniform(2, m.gpu_ids()[0]),
+            Placement::uniform(2, m.cpu_id()),
+            Placement::uniform(2, m.gpu_ids()[0]), // cache hit
+            Placement::uniform(2, m.gpu_ids()[1]),
+        ];
+        // Uninterrupted reference.
+        let mut straight = mk();
+        let expect: Vec<Measurement> = batch.iter().map(|p| straight.evaluate(p)).collect();
+        // Interrupted run: evaluate half, snapshot through JSON, restore into a
+        // *fresh* environment, evaluate the rest.
+        let mut first = mk();
+        let got_a: Vec<Measurement> = batch[..2].iter().map(|p| first.evaluate(p)).collect();
+        let json = serde_json::to_string(&first.save_state()).unwrap();
+        let state: EnvState = serde_json::from_str(&json).unwrap();
+        let mut resumed = mk();
+        resumed.restore_state(&state).unwrap();
+        let got_b: Vec<Measurement> = batch[2..].iter().map(|p| resumed.evaluate(p)).collect();
+        let got: Vec<Measurement> = got_a.into_iter().chain(got_b).collect();
+        assert_eq!(got, expect, "resumed noise stream and cache must continue exactly");
+        assert_eq!(resumed.wall_clock(), straight.wall_clock());
+        assert_eq!(resumed.snapshot(), straight.snapshot());
+        assert_eq!(resumed.best(), straight.best());
+    }
+
+    #[test]
+    fn restore_state_rejects_mismatched_snapshots() {
+        let m = Machine::paper_machine();
+        let mut e = env(tiny_graph(), &m, MeasureConfig::default(), 1);
+        e.evaluate(&Placement::uniform(2, m.gpu_ids()[0]));
+        let good = e.save_state();
+
+        let mut bad_rng = good.clone();
+        bad_rng.rng = RngState {
+            key: vec![0; 7],
+            counter: 0,
+            block: vec![0; 16],
+            index: 0,
+        };
+        assert!(matches!(
+            e.restore_state(&bad_rng),
+            Err(EnvStateError::BadRng(_))
+        ));
+
+        let mut bad_cache = good.clone();
+        bad_cache.cache_entries[0].devices = vec![0, 1, 2]; // graph has 2 ops
+        assert!(matches!(
+            e.restore_state(&bad_cache),
+            Err(EnvStateError::BadCache(_))
+        ));
+
+        let mut bad_best = good.clone();
+        bad_best.best = Some((1.0, Placement::uniform(9, m.cpu_id())));
+        assert!(matches!(
+            e.restore_state(&bad_best),
+            Err(EnvStateError::BadPlacement(_))
+        ));
+
+        // A failed restore leaves the environment untouched and usable.
+        assert!(e.restore_state(&good).is_ok());
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub use cache::{BaseEval, CacheStats, PlacementCache};
 pub use device::{efficiency, DeviceId, DeviceKind, DeviceSpec, Machine};
 pub use eagle_obs::resolve_workers;
 pub use env::{
-    EnvError, EnvSnapshot, Environment, EnvironmentBuilder, MeasureConfig, Measurement,
-    DEFAULT_CACHE_CAPACITY,
+    CacheEntryState, EnvError, EnvSnapshot, EnvState, EnvStateError, Environment,
+    EnvironmentBuilder, MeasureConfig, Measurement, RngState, DEFAULT_CACHE_CAPACITY,
 };
 pub use placement::Placement;
 pub use sim::{simulate, SimOutcome, StepStats};

@@ -2,9 +2,12 @@
 //!
 //! The simulator performs event-driven list scheduling of the op DAG over the
 //! machine's devices: each device executes one op at a time in ready-time order, and
-//! every cross-device edge pays a transfer serialized on its directed link. The
-//! resulting makespan is the per-step time — the quantity the paper measures on real
-//! hardware and feeds to the RL agent as (negated, square-rooted) reward.
+//! every cross-device data dependency pays a transfer serialized on its directed
+//! link. An op's output tensor is shipped at most **once per destination device** —
+//! real runtimes send one copy and fan consumers out locally, so several consumers
+//! on the same remote device share a single transfer. The resulting makespan is the
+//! per-step time — the quantity the paper measures on real hardware and feeds to
+//! the RL agent as (negated, square-rooted) reward.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -50,7 +53,8 @@ pub struct StepStats {
     pub device_busy: Vec<f64>,
     /// Total time spent in cross-device transfers (sum over links).
     pub comm_time: f64,
-    /// Number of cross-device transfers.
+    /// Number of cross-device transfers: one per (producer op, destination
+    /// device) pair, however many consumer edges fan out on that device.
     pub num_transfers: usize,
 }
 
@@ -110,6 +114,11 @@ pub fn simulate(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Si
         }
     }
 
+    // Arrival time of the current op's output on each device, stamped with the
+    // producing op's index: consumers on the same remote device reuse the one
+    // shipped copy instead of paying the transfer per edge.
+    let mut shipped: Vec<(u32, f64)> = vec![(u32::MAX, 0.0); nd];
+
     let mut scheduled = 0usize;
     while let Some(Reverse((Time(rt), idx))) = ready.pop() {
         let id = OpId(idx);
@@ -127,6 +136,8 @@ pub fn simulate(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Si
             let sdev = placement.device(succ);
             let data_at = if sdev == dev {
                 finish
+            } else if shipped[sdev.index()].0 == idx {
+                shipped[sdev.index()].1
             } else {
                 let link = &mut link_free[dev.index() * nd + sdev.index()];
                 let t_start = finish.max(*link);
@@ -134,6 +145,7 @@ pub fn simulate(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Si
                 *link = t_start + t;
                 comm_time += t;
                 num_transfers += 1;
+                shipped[sdev.index()] = (idx, t_start + t);
                 t_start + t
             };
             let s = succ.index();
@@ -262,6 +274,33 @@ mod tests {
     }
 
     #[test]
+    fn fanout_to_same_device_pays_one_transfer() {
+        // a on gpu0 fans out to b and c on gpu1: the tensor ships once, both
+        // consumers read the same resident copy (one transfer, one latency).
+        let g = diamond(4.65e9);
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        let p = Placement::new(vec![gpus[0], gpus[1], gpus[1], gpus[1]]);
+        match simulate(&g, &m, &p) {
+            SimOutcome::Valid(s) => {
+                assert_eq!(s.num_transfers, 1, "a->{{b,c}} dedupes to one shipment");
+                let one = m.transfer_time(1024);
+                assert!((s.comm_time - one).abs() < 1e-15, "comm {} vs {}", s.comm_time, one);
+            }
+            _ => panic!("valid expected"),
+        }
+        // Distinct destination devices still pay one transfer each.
+        let split = Placement::new(vec![gpus[0], gpus[1], gpus[2], gpus[1]]);
+        match simulate(&g, &m, &split) {
+            SimOutcome::Valid(s) => {
+                // a->b (gpu1), a->c (gpu2), c->d (gpu2->gpu1).
+                assert_eq!(s.num_transfers, 3);
+            }
+            _ => panic!("valid expected"),
+        }
+    }
+
+    #[test]
     fn stats_are_consistent() {
         let g = diamond(4.65e9);
         let m = Machine::paper_machine();
@@ -269,7 +308,9 @@ mod tests {
         let p = Placement::new(vec![gpus[0], gpus[0], gpus[1], gpus[0]]);
         match simulate(&g, &m, &p) {
             SimOutcome::Valid(s) => {
-                assert_eq!(s.num_transfers, 2); // a->c and c->d cross devices
+                // a->c and c->d cross devices, to distinct destinations each —
+                // the per-destination dedup leaves them as two transfers.
+                assert_eq!(s.num_transfers, 2);
                 assert!(s.comm_time > 0.0);
                 assert!(s.device_busy[gpus[0].index()] > 0.0);
                 assert!(s.device_busy[gpus[1].index()] > 0.0);

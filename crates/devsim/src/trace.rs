@@ -77,6 +77,8 @@ pub fn trace(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Optio
     }
     let mut ops = Vec::with_capacity(n);
     let mut makespan = 0.0f64;
+    // Same per-(producer, destination device) transfer dedup as `simulate`.
+    let mut shipped: Vec<(u32, f64)> = vec![(u32::MAX, 0.0); nd];
     while let Some(Reverse((T(rt), idx))) = ready.pop() {
         let id = OpId(idx);
         let node = graph.node(id);
@@ -97,11 +99,14 @@ pub fn trace(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Optio
             let sdev = placement.device(succ);
             let data_at = if sdev == dev {
                 finish
+            } else if shipped[sdev.index()].0 == idx {
+                shipped[sdev.index()].1
             } else {
                 let link = &mut link_free[dev.index() * nd + sdev.index()];
                 let t_start = finish.max(*link);
                 let t = machine.transfer_time(node.out_bytes);
                 *link = t_start + t;
+                shipped[sdev.index()] = (idx, t_start + t);
                 t_start + t
             };
             let s = succ.index();

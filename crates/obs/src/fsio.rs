@@ -1,0 +1,94 @@
+//! Crash-safe file writes: the tmp + fsync + rename protocol.
+//!
+//! A bare `fs::write` truncates the destination before writing, so a crash (or
+//! `kill -9`) mid-write leaves a corrupt file — fatal when the file is a
+//! checkpoint the run exists to protect. Every durable artifact in the
+//! workspace (checkpoints, params, curves, metric streams) goes through
+//! [`write_atomic`] instead: readers only ever observe the old contents or the
+//! complete new contents, never a torn mix.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// Writes to a sibling `<name>.tmp.<pid>` file, fsyncs it, renames it over
+/// `path` (atomic on POSIX filesystems), then best-effort fsyncs the parent
+/// directory so the rename itself survives a power loss. On any error the
+/// destination is left untouched and the temp file is cleaned up.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // The rename is durable only once the directory entry is synced; failure
+    // here is not fatal to correctness (the file is consistent either way).
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("eagle-obs-fsio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = tmp_dir().join("atomic.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = tmp_dir().join("clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_atomic(dir.join("a.json"), b"{}").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.json".to_string()], "no .tmp litter: {names:?}");
+    }
+
+    #[test]
+    fn failed_write_preserves_destination() {
+        let path = tmp_dir().join("keep.txt");
+        write_atomic(&path, b"precious").unwrap();
+        // Writing into a directory that does not exist fails before any rename.
+        let bad = tmp_dir().join("missing-dir").join("keep.txt");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"precious");
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(write_atomic(std::path::Path::new("/"), b"x").is_err());
+    }
+}

@@ -31,12 +31,14 @@
 
 #![warn(missing_docs)]
 
+mod fsio;
 mod histogram;
 mod recorder;
 pub mod runtime;
 mod sink;
 mod telemetry;
 
+pub use fsio::write_atomic;
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use recorder::{Recorder, Span, SpanEvent};
 pub use runtime::{available_workers, resolve_workers};

@@ -5,6 +5,7 @@ use std::path::Path;
 
 use serde_json::Value;
 
+use crate::fsio::write_atomic;
 use crate::recorder::Recorder;
 
 /// Version stamped into the leading `meta` line of every JSONL stream. Bump it
@@ -37,8 +38,11 @@ fn num(v: f64) -> Value {
 /// completion order, then the final counter/gauge/histogram state, each group
 /// sorted by name. A disabled recorder writes just the `meta` line, so the
 /// file is valid JSONL either way.
+///
+/// The stream is rendered in memory and published with [`write_atomic`]: a
+/// crash mid-write never leaves a truncated metrics file behind.
 pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()> {
-    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut out: Vec<u8> = Vec::new();
     let meta = obj(vec![
         ("type", Value::from("meta")),
         ("schema_version", Value::U64(SCHEMA_VERSION)),
@@ -91,7 +95,7 @@ pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()
         ]);
         writeln!(out, "{}", serde_json::to_string(&line).expect("serialize histogram"))?;
     }
-    out.flush()
+    write_atomic(path, &out)
 }
 
 /// Renders the end-of-run summary table: counters, gauges, and one row per

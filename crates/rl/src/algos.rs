@@ -66,6 +66,17 @@ impl Reinforce {
         self
     }
 
+    /// The optimizer's full state (step count + Adam moments), for checkpointing.
+    pub fn optimizer(&self) -> &Adam {
+        &self.opt
+    }
+
+    /// Replaces the optimizer state, resuming exactly where a checkpointed
+    /// run's [`Reinforce::optimizer`] snapshot left off.
+    pub fn restore_optimizer(&mut self, opt: Adam) {
+        self.opt = opt;
+    }
+
     /// One gradient step over a batch of samples.
     pub fn update(
         &mut self,
@@ -126,6 +137,17 @@ impl Ppo {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// The optimizer's full state (step count + Adam moments), for checkpointing.
+    pub fn optimizer(&self) -> &Adam {
+        &self.opt
+    }
+
+    /// Replaces the optimizer state, resuming exactly where a checkpointed
+    /// run's [`Ppo::optimizer`] snapshot left off.
+    pub fn restore_optimizer(&mut self, opt: Adam) {
+        self.opt = opt;
     }
 
     /// Runs `epochs` gradient steps over the batch.
@@ -194,6 +216,17 @@ impl CrossEntropyMin {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// The optimizer's full state (step count + Adam moments), for checkpointing.
+    pub fn optimizer(&self) -> &Adam {
+        &self.opt
+    }
+
+    /// Replaces the optimizer state, resuming exactly where a checkpointed
+    /// run's [`CrossEntropyMin::optimizer`] snapshot left off.
+    pub fn restore_optimizer(&mut self, opt: Adam) {
+        self.opt = opt;
     }
 
     /// Fits the policy towards the elite action vectors.

@@ -51,7 +51,11 @@ pub fn invalid_reward(penalty_time: f64) -> f64 {
 }
 
 /// Exponential-moving-average reward baseline.
-#[derive(Debug, Clone)]
+///
+/// Serializable: the baseline is part of the trainer's resumable state — a
+/// resumed run that re-seeded it would compute different advantages than the
+/// uninterrupted run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EmaBaseline {
     alpha: f64,
     value: Option<f64>,

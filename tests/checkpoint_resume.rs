@@ -1,0 +1,200 @@
+//! Crash-safe resume contract: a run killed at a minibatch boundary and
+//! resumed from its checkpoint produces the same curve, parameters, best
+//! placement and final measurement — bit for bit — as the uninterrupted run
+//! with the same seed, for every algorithm and worker count.
+//!
+//! The "kill" is simulated by training only the first *k* minibatches with
+//! auto-checkpointing on: the checkpoint written at minibatch *k* is exactly
+//! what a `kill -9` after that save would leave behind (the writes are atomic,
+//! so nothing torn exists), and the resumed process rebuilds its agent and
+//! environment from scratch exactly like a restarted binary would.
+
+use eagle::core::{
+    load_checkpoint, train, train_from, AgentScale, Algo, CheckpointError, EagleAgent,
+    TrainResult, TrainerConfig, CHECKPOINT_FILE,
+};
+use eagle::devsim::{Environment, Machine, MeasureConfig};
+use eagle::opgraph::builders;
+use eagle::tensor::Params;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const MINIBATCH: usize = 10;
+
+fn tiny_env() -> (eagle::opgraph::OpGraph, Machine, Environment) {
+    let g = builders::gnmt(&builders::GnmtConfig {
+        batch: 2,
+        hidden: 4,
+        layers: 2,
+        seq_len: 3,
+        vocab: 20,
+    });
+    let m = Machine::paper_machine();
+    let env = Environment::builder(g.clone(), m.clone())
+        .measure(MeasureConfig::default()) // noisy protocol: the RNG position matters
+        .seed(17)
+        .build()
+        .expect("valid tiny environment");
+    (g, m, env)
+}
+
+fn config(algo: Algo, workers: usize, total: usize) -> TrainerConfig {
+    let mut cfg = TrainerConfig::paper(algo, total);
+    cfg.ce_interval = 20; // exercise CE inside short runs
+    cfg.workers = workers;
+    cfg
+}
+
+/// Fresh agent + params, deterministic in the seed (a restarted process
+/// rebuilds exactly this before restoring the checkpoint over it).
+fn build_agent(g: &eagle::opgraph::OpGraph, m: &Machine) -> (Params, EagleAgent) {
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let agent = EagleAgent::new(&mut params, g, m, AgentScale::tiny(), &mut rng);
+    (params, agent)
+}
+
+fn straight_run(algo: Algo, workers: usize, total: usize) -> (TrainResult, Params) {
+    let (g, m, mut env) = tiny_env();
+    let (mut params, agent) = build_agent(&g, &m);
+    let result = train(&agent, &mut params, &mut env, &config(algo, workers, total));
+    (result, params)
+}
+
+/// Trains `kill_after` minibatches with checkpointing on, then resumes from
+/// the checkpoint in a fresh process image (new env, new agent, new params).
+fn killed_and_resumed(
+    algo: Algo,
+    workers: usize,
+    kill_after: usize,
+    total: usize,
+    dir: &std::path::Path,
+) -> (TrainResult, Params) {
+    std::fs::remove_dir_all(dir).ok();
+    // First life: dies (stops) right after the checkpoint at minibatch `kill_after`.
+    {
+        let (g, m, mut env) = tiny_env();
+        let (mut params, agent) = build_agent(&g, &m);
+        let mut cfg = config(algo, workers, kill_after * MINIBATCH);
+        cfg.checkpoint_dir = Some(dir.to_path_buf());
+        cfg.checkpoint_every = Some(1);
+        train(&agent, &mut params, &mut env, &cfg);
+    }
+    // Second life: a brand-new process image resumes from disk.
+    let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).expect("checkpoint readable");
+    assert_eq!(state.samples as usize, kill_after * MINIBATCH);
+    let (g, m, mut env) = tiny_env();
+    let (mut params, agent) = build_agent(&g, &m);
+    let result = train_from(&agent, &mut params, &mut env, &config(algo, workers, total), state)
+        .expect("resume accepted");
+    (result, params)
+}
+
+fn assert_bit_identical(a: &(TrainResult, Params), b: &(TrainResult, Params), ctx: &str) {
+    let ((ra, pa), (rb, pb)) = (a, b);
+    assert_eq!(ra.samples, rb.samples, "{ctx}: samples");
+    assert_eq!(ra.num_invalid, rb.num_invalid, "{ctx}: num_invalid");
+    assert_eq!(ra.curve.points.len(), rb.curve.points.len(), "{ctx}: curve length");
+    for (i, (x, y)) in ra.curve.points.iter().zip(&rb.curve.points).enumerate() {
+        assert_eq!(x.sample, y.sample, "{ctx}: point {i} sample");
+        assert_eq!(
+            x.wall_clock.to_bits(),
+            y.wall_clock.to_bits(),
+            "{ctx}: point {i} wall_clock"
+        );
+        assert_eq!(
+            x.measured.map(f64::to_bits),
+            y.measured.map(f64::to_bits),
+            "{ctx}: point {i} measured"
+        );
+        assert_eq!(
+            x.best_so_far.map(f64::to_bits),
+            y.best_so_far.map(f64::to_bits),
+            "{ctx}: point {i} best_so_far"
+        );
+    }
+    assert_eq!(ra.best_placement, rb.best_placement, "{ctx}: best placement");
+    assert_eq!(
+        ra.final_step_time.map(f64::to_bits),
+        rb.final_step_time.map(f64::to_bits),
+        "{ctx}: final step time"
+    );
+    assert_eq!(pa.len(), pb.len(), "{ctx}: param tensor count");
+    for id in pa.ids() {
+        let (ta, tb) = (pa.get(id), pb.get(id));
+        assert_eq!(ta.shape(), tb.shape(), "{ctx}: shape of {}", pa.name(id));
+        for (j, (va, vb)) in ta.data().iter().zip(tb.data()).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{ctx}: param {}[{j}] {va} vs {vb}",
+                pa.name(id)
+            );
+        }
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join("eagle-resume-tests").join(name)
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_for_every_algo_and_worker_count() {
+    const TOTAL: usize = 60;
+    const KILL_AFTER: usize = 3; // of 6 minibatches
+    for algo in [Algo::Reinforce, Algo::Ppo, Algo::PpoCe] {
+        for workers in [1usize, 0] {
+            let ctx = format!("{algo:?}/workers={workers}");
+            let dir = tmp(&format!("{algo:?}-w{workers}").to_lowercase());
+            let straight = straight_run(algo, workers, TOTAL);
+            let resumed = killed_and_resumed(algo, workers, KILL_AFTER, TOTAL, &dir);
+            assert_bit_identical(&straight, &resumed, &ctx);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_fails_typed_and_fresh_file_survives_interrupted_save() {
+    let dir = tmp("corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+    let (g, m, mut env) = tiny_env();
+    let (mut params, agent) = build_agent(&g, &m);
+    let mut cfg = config(Algo::Ppo, 1, 20);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = Some(1);
+    train(&agent, &mut params, &mut env, &cfg);
+
+    let path = dir.join(CHECKPOINT_FILE);
+    let good = std::fs::read(&path).unwrap();
+    // Truncate mid-payload, as a torn non-atomic write would.
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::Truncated { .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // No stray temp files from the atomic-writer protocol.
+    let stray: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(stray.is_empty(), "temp litter: {stray:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Resume is exact no matter *which* minibatch boundary the run died at.
+    #[test]
+    fn resume_at_any_minibatch_boundary_is_exact(kill_after in 1usize..6) {
+        const TOTAL: usize = 60;
+        let dir = tmp(&format!("boundary-{kill_after}"));
+        let straight = straight_run(Algo::PpoCe, 0, TOTAL);
+        let resumed = killed_and_resumed(Algo::PpoCe, 0, kill_after, TOTAL, &dir);
+        assert_bit_identical(&straight, &resumed, &format!("boundary {kill_after}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
