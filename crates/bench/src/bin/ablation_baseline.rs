@@ -29,7 +29,11 @@ fn main() {
         cfg.use_baseline = use_baseline;
         let r = train(&agent, &mut params, &mut env, &cfg);
         let label = if use_baseline { "ema" } else { "none" };
-        println!("  baseline={label:<5} -> {} (invalid {})", fmt_time(r.final_step_time), r.num_invalid);
+        println!(
+            "  baseline={label:<5} -> {} (invalid {})",
+            fmt_time(r.final_step_time),
+            r.num_invalid
+        );
         csv.push_str(&format!("{label},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
     }
     cli.write_artifact("ablation_baseline.csv", &csv);

@@ -28,7 +28,11 @@ fn main() {
         let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
         cfg.optim.ent_coef = coef;
         let r = train(&agent, &mut params, &mut env, &cfg);
-        println!("  ent_coef={coef:<5} -> {} (invalid {})", fmt_time(r.final_step_time), r.num_invalid);
+        println!(
+            "  ent_coef={coef:<5} -> {} (invalid {})",
+            fmt_time(r.final_step_time),
+            r.num_invalid
+        );
         csv.push_str(&format!("{coef},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
     }
     cli.write_artifact("ablation_entropy.csv", &csv);

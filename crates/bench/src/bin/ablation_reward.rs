@@ -29,8 +29,18 @@ fn main() {
         let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
         cfg.reward = tr;
         let r = train(&agent, &mut params, &mut env, &cfg);
-        println!("  {:<10} -> {} (invalid {})", tr.label(), fmt_time(r.final_step_time), r.num_invalid);
-        csv.push_str(&format!("{},{},{}\n", tr.label(), fmt_time(r.final_step_time), r.num_invalid));
+        println!(
+            "  {:<10} -> {} (invalid {})",
+            tr.label(),
+            fmt_time(r.final_step_time),
+            r.num_invalid
+        );
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            tr.label(),
+            fmt_time(r.final_step_time),
+            r.num_invalid
+        ));
     }
     cli.write_artifact("ablation_reward.csv", &csv);
     cli.finish_metrics("ablation_reward");

@@ -9,19 +9,20 @@ fn main() {
     let cli = Cli::parse();
     let machine = Machine::paper_machine();
     let iters = cli.samples_override.unwrap_or(4000);
-    println!("Simulated-annealing oracle ({iters} evals, topo-chunk groups, k = {})", cli.scale.num_groups);
+    println!(
+        "Simulated-annealing oracle ({iters} evals, topo-chunk groups, k = {})",
+        cli.scale.num_groups
+    );
     let mut csv = String::from("model,reference,oracle\n");
     for b in Benchmark::ALL {
         let graph = b.graph_for(&machine);
         let groups = search::topo_chunks(&graph, cli.scale.num_groups);
         let sa = search::simulated_annealing(&graph, &machine, &groups, iters, cli.seed);
         let reference = match b {
-            Benchmark::InceptionV3 => eagle_devsim::simulate(
-                &graph,
-                &machine,
-                &predefined::single_gpu(&graph, &machine),
-            )
-            .step_time(),
+            Benchmark::InceptionV3 => {
+                eagle_devsim::simulate(&graph, &machine, &predefined::single_gpu(&graph, &machine))
+                    .step_time()
+            }
             Benchmark::Gnmt => predefined::human_expert(&graph, &machine)
                 .and_then(|p| eagle_devsim::simulate(&graph, &machine, &p).step_time()),
             Benchmark::BertBase => eagle_devsim::simulate(

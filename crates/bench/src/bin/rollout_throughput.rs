@@ -116,10 +116,7 @@ fn main() {
                 ("cache_misses", Value::U64(stats.cache_misses)),
                 ("cache_hit_rate", Value::from(stats.cache_hit_rate)),
                 ("curve_matches_serial", Value::Bool(curve_check)),
-                (
-                    "final_step_time",
-                    result.final_step_time.map_or(Value::Null, Value::from),
-                ),
+                ("final_step_time", result.final_step_time.map_or(Value::Null, Value::from)),
             ]));
         }
     }

@@ -44,6 +44,9 @@ fn main() {
         cli.write_artifact("fig2.csv", &Curve::multi_csv(&fig2));
     }
     let p = Benchmark::BertBase.paper_numbers();
-    println!("\npaper reference (BERT row): FFN 5.534 / METIS 7.526 / Networkx 7.584; table IV HP {p:?}", p = p.hierarchical_planner);
+    println!(
+        "\npaper reference (BERT row): FFN 5.534 / METIS 7.526 / Networkx 7.584; table IV HP {p:?}",
+        p = p.hierarchical_planner
+    );
     cli.finish_metrics("table1");
 }

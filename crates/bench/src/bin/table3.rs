@@ -7,7 +7,10 @@ use eagle_devsim::Benchmark;
 
 fn main() {
     let cli = Cli::parse();
-    println!("Table III: EAGLE per-step time (s) by training algorithm (scale = {})", cli.scale_name);
+    println!(
+        "Table III: EAGLE per-step time (s) by training algorithm (scale = {})",
+        cli.scale_name
+    );
     println!("| Models        | REINFORCE | PPO | PPO+CE |");
     println!("|---------------|-----------|-----|--------|");
     let mut csv = String::from("model,algo,step_time,invalid\n");

@@ -29,8 +29,8 @@ fn main() {
         let single = env.evaluate_final(&predefined::single_gpu(&graph, &machine));
         cells.push(fmt_time(single));
         csv.push_str(&format!("{},Single GPU,{},0\n", b.name(), fmt_time(single)));
-        let expert = predefined::human_expert(&graph, &machine)
-            .and_then(|p| env.evaluate_final(&p));
+        let expert =
+            predefined::human_expert(&graph, &machine).and_then(|p| env.evaluate_final(&p));
         cells.push(fmt_time(expert));
         csv.push_str(&format!("{},Human Experts,{},0\n", b.name(), fmt_time(expert)));
 

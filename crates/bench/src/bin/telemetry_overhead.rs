@@ -82,10 +82,7 @@ fn main() {
         ("on_elapsed_sec", Value::from(on_elapsed)),
         ("overhead_pct", Value::from(overhead_pct)),
         ("curves_identical", Value::Bool(true)),
-        (
-            "final_step_time",
-            off_result.final_step_time.map_or(Value::Null, Value::from),
-        ),
+        ("final_step_time", off_result.final_step_time.map_or(Value::Null, Value::from)),
     ]);
     cli.write_artifact(
         "BENCH_telemetry_overhead.json",

@@ -83,8 +83,9 @@ impl Cli {
                 }
                 "--samples" => {
                     i += 1;
-                    samples_override =
-                        Some(args.get(i).expect("--samples needs a value").parse().expect("number"));
+                    samples_override = Some(
+                        args.get(i).expect("--samples needs a value").parse().expect("number"),
+                    );
                 }
                 "--seed" => {
                     i += 1;
@@ -128,8 +129,7 @@ impl Cli {
             eprintln!("--resume requires --checkpoint-dir DIR");
             std::process::exit(2);
         }
-        let recorder =
-            if metrics.is_some() { Recorder::new() } else { Recorder::disabled() };
+        let recorder = if metrics.is_some() { Recorder::new() } else { Recorder::disabled() };
         Self {
             scale,
             scale_name,
@@ -205,11 +205,9 @@ impl AgentKind {
         match self {
             AgentKind::Eagle => "eagle".to_string(),
             AgentKind::HierarchicalPlanner => "hp".to_string(),
-            AgentKind::FixedGroups(g, p) => {
-                format!("{}-{}", g.label(), p.label())
-                    .to_lowercase()
-                    .replace(|c: char| !c.is_ascii_alphanumeric(), "-")
-            }
+            AgentKind::FixedGroups(g, p) => format!("{}-{}", g.label(), p.label())
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "-"),
             AgentKind::Post => "post".to_string(),
         }
     }

@@ -44,8 +44,7 @@ impl EagleAgent {
         let features = super::features_tensor(graph);
         let feat_dim = features.cols();
         let k = scale.num_groups.min(graph.len());
-        let grouper =
-            Grouper::new(params, "eagle/grouper", feat_dim, scale.grouper_hidden, k, rng);
+        let grouper = Grouper::new(params, "eagle/grouper", feat_dim, scale.grouper_hidden, k, rng);
         let link = Lstm::new(params, "eagle/link", feat_dim, scale.link_hidden, rng);
         let devices = super::device_table(machine);
         let placer = Seq2SeqPlacer::new(
@@ -183,8 +182,7 @@ impl PlacementAgent for EagleAgent {
     fn decode(&self, params: &Params, actions: &[usize]) -> Placement {
         assert_eq!(actions.len(), self.num_groups, "one device per group");
         let group_of = self.group_assignment(params);
-        let group_devices: Vec<DeviceId> =
-            actions.iter().map(|&a| self.devices[a]).collect();
+        let group_devices: Vec<DeviceId> = actions.iter().map(|&a| self.devices[a]).collect();
         Placement::from_groups(&group_of, &group_devices)
     }
 }

@@ -10,8 +10,7 @@
 
 use eagle_devsim::{DeviceId, Machine, Placement};
 use eagle_nn::{
-    embedding, normalize_adjacency, AttentionMode, GcnPlacer, Placer, Seq2SeqPlacer,
-    SimplePlacer,
+    embedding, normalize_adjacency, AttentionMode, GcnPlacer, Placer, Seq2SeqPlacer, SimplePlacer,
 };
 use eagle_opgraph::OpGraph;
 use eagle_rl::{ScoreHandle, StochasticPolicy};
@@ -176,8 +175,7 @@ impl PlacementAgent for FixedGroupAgent {
 
     fn decode(&self, _params: &Params, actions: &[usize]) -> Placement {
         assert_eq!(actions.len(), self.num_groups, "one device per group");
-        let group_devices: Vec<DeviceId> =
-            actions.iter().map(|&a| self.devices[a]).collect();
+        let group_devices: Vec<DeviceId> = actions.iter().map(|&a| self.devices[a]).collect();
         Placement::from_groups(&self.group_of, &group_devices)
     }
 }

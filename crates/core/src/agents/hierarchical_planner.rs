@@ -112,13 +112,7 @@ impl HpAgent {
         // Hard group embeddings (Hierarchical Planner's aggregation), then place.
         let emb = embedding::group_features(&self.graph, &group_of, self.num_groups);
         let emb_var = tape.leaf(emb);
-        let out = self.placer.forward(
-            &mut tape,
-            params,
-            emb_var,
-            forced.map(|a| &a[n..]),
-            rng,
-        );
+        let out = self.placer.forward(&mut tape, params, emb_var, forced.map(|a| &a[n..]), rng);
 
         let log_prob = tape.add(group_logp_sum, out.log_prob);
         let e2 = tape.add(group_entropy, out.entropy);
@@ -154,8 +148,7 @@ impl PlacementAgent for HpAgent {
     fn decode(&self, _params: &Params, actions: &[usize]) -> Placement {
         let n = self.graph.len();
         assert_eq!(actions.len(), self.action_len(), "full action vector required");
-        let group_devices: Vec<DeviceId> =
-            actions[n..].iter().map(|&a| self.devices[a]).collect();
+        let group_devices: Vec<DeviceId> = actions[n..].iter().map(|&a| self.devices[a]).collect();
         Placement::from_groups(&actions[..n], &group_devices)
     }
 }

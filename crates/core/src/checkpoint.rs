@@ -197,9 +197,12 @@ struct Header {
 ///
 /// The write goes through [`eagle_obs::write_atomic`], so a crash mid-save
 /// leaves the previous checkpoint (if any) intact.
-pub fn save_checkpoint(state: &TrainerState, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let payload = serde_json::to_string(state)
-        .map_err(|e| CheckpointError::Decode(e.to_string()))?;
+pub fn save_checkpoint(
+    state: &TrainerState,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let payload =
+        serde_json::to_string(state).map_err(|e| CheckpointError::Decode(e.to_string()))?;
     let header = Header {
         magic: CHECKPOINT_MAGIC.to_string(),
         schema_version: CHECKPOINT_SCHEMA_VERSION,
@@ -224,13 +227,13 @@ pub fn save_checkpoint(state: &TrainerState, path: impl AsRef<Path>) -> Result<(
 /// — each failure is a distinct [`CheckpointError`] variant, never a panic.
 pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<TrainerState, CheckpointError> {
     let bytes = std::fs::read(path)?;
-    let text = String::from_utf8(bytes)
-        .map_err(|e| CheckpointError::Header(format!("not UTF-8: {e}")))?;
+    let text =
+        String::from_utf8(bytes).map_err(|e| CheckpointError::Header(format!("not UTF-8: {e}")))?;
     let Some((header_line, payload)) = text.split_once('\n') else {
         return Err(CheckpointError::Header("missing header/payload separator".into()));
     };
-    let header: Header = serde_json::from_str(header_line)
-        .map_err(|e| CheckpointError::Header(e.to_string()))?;
+    let header: Header =
+        serde_json::from_str(header_line).map_err(|e| CheckpointError::Header(e.to_string()))?;
     if header.magic != CHECKPOINT_MAGIC {
         return Err(CheckpointError::Header(format!("unknown magic '{}'", header.magic)));
     }

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use eagle_devsim::{EnvSnapshot, Environment, EnvStateError, Placement, RngState};
+use eagle_devsim::{EnvSnapshot, EnvStateError, Environment, Placement, RngState};
 use eagle_rl::{
     top_k_indices, CrossEntropyMin, EmaBaseline, OptimConfig, Ppo, Reinforce, RewardTransform,
     TrainSample,
@@ -355,8 +355,7 @@ fn run_loop(
         // This is the only consumer of the trainer RNG, so batching preserves
         // the exact serial action stream.
         let sample_span = rec.span("trainer.sample_us");
-        let drawn: Vec<_> =
-            (0..batch_size).map(|_| agent.sample(params, &mut st.rng)).collect();
+        let drawn: Vec<_> = (0..batch_size).map(|_| agent.sample(params, &mut st.rng)).collect();
         drop(sample_span);
 
         // Phase B (parallel): decode actions into placements — a pure forward
@@ -416,23 +415,16 @@ fn run_loop(
             };
             wall += meas.wall_cost;
             st.curve.push(st.samples as u64, wall, meas.step_time);
-            let advantage = if cfg.use_baseline {
-                st.baseline.advantage(reward) as f32
-            } else {
-                reward as f32
-            };
+            let advantage =
+                if cfg.use_baseline { st.baseline.advantage(reward) as f32 } else { reward as f32 };
             st.history_actions.push_back(actions.clone());
             st.history_rewards.push_back(reward);
             batch.push(TrainSample { actions, old_log_prob, advantage });
         }
 
         if cfg.normalize_adv && batch.len() > 1 {
-            let mean =
-                batch.iter().map(|s| s.advantage).sum::<f32>() / batch.len() as f32;
-            let var = batch
-                .iter()
-                .map(|s| (s.advantage - mean).powi(2))
-                .sum::<f32>()
+            let mean = batch.iter().map(|s| s.advantage).sum::<f32>() / batch.len() as f32;
+            let var = batch.iter().map(|s| (s.advantage - mean).powi(2)).sum::<f32>()
                 / batch.len() as f32;
             let std = var.sqrt().max(1e-6);
             for s in &mut batch {
@@ -500,10 +492,7 @@ fn run_loop(
                     Ok(()) => rec.add("trainer.checkpoints", 1),
                     Err(e) => {
                         rec.add("trainer.checkpoint_errors", 1);
-                        eprintln!(
-                            "warning: checkpoint save to {} failed: {e}",
-                            dir.display()
-                        );
+                        eprintln!("warning: checkpoint save to {} failed: {e}", dir.display());
                     }
                 }
             }
@@ -523,11 +512,7 @@ fn run_loop(
     let elapsed = host_start.elapsed().as_secs_f64();
     let samples_this_process = st.samples - samples_at_entry;
     let telemetry = Telemetry {
-        episodes_per_sec: if elapsed > 0.0 {
-            samples_this_process as f64 / elapsed
-        } else {
-            0.0
-        },
+        episodes_per_sec: if elapsed > 0.0 { samples_this_process as f64 / elapsed } else { 0.0 },
         evals: run.evals,
         invalid_evals: run.invalid_evals,
         cache_hits: run.cache.hits,

@@ -101,10 +101,9 @@ impl Benchmark {
     pub fn calibration(self, graph: &OpGraph, machine: &Machine) -> (Placement, f64) {
         match self {
             Benchmark::InceptionV3 => (predefined::single_gpu(graph, machine), 0.071),
-            Benchmark::Gnmt => (
-                predefined::human_expert(graph, machine).expect("gnmt expert exists"),
-                1.661,
-            ),
+            Benchmark::Gnmt => {
+                (predefined::human_expert(graph, machine).expect("gnmt expert exists"), 1.661)
+            }
             Benchmark::BertBase => (predefined::bert_layer_split(graph, machine), 3.2),
         }
     }
@@ -139,9 +138,9 @@ pub fn calibrate(
     let eval = |g: &OpGraph| -> f64 {
         match simulate(g, machine, reference) {
             SimOutcome::Valid(s) => s.step_time,
-            SimOutcome::Oom { device, required, capacity } => panic!(
-                "calibration reference OOMs on device {device:?}: {required} > {capacity}"
-            ),
+            SimOutcome::Oom { device, required, capacity } => {
+                panic!("calibration reference OOMs on device {device:?}: {required} > {capacity}")
+            }
         }
     };
     let scale_graph = |g: &mut OpGraph, s: f64| {

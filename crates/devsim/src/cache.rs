@@ -92,12 +92,7 @@ fn key_of(placement: &Placement) -> Box<[u8]> {
 impl PlacementCache {
     /// Creates a cache holding at most `capacity` placements; 0 disables it.
     pub fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            stats: CacheStats::default(),
-        }
+        Self { capacity, map: HashMap::new(), order: VecDeque::new(), stats: CacheStats::default() }
     }
 
     /// True when the cache stores anything at all.
@@ -224,10 +219,7 @@ mod tests {
         let mut c = PlacementCache::new(8);
         assert_eq!(c.lookup(&p(&[0, 1])), None);
         c.insert(&p(&[0, 1]), BaseEval::Valid { step_time: 2.0 });
-        assert_eq!(
-            c.lookup(&p(&[0, 1])),
-            Some(BaseEval::Valid { step_time: 2.0 })
-        );
+        assert_eq!(c.lookup(&p(&[0, 1])), Some(BaseEval::Valid { step_time: 2.0 }));
         assert_eq!(c.lookup(&p(&[1, 0])), None);
         assert_eq!(c.stats(), CacheStats { hits: 1, misses: 2, evictions: 0 });
         assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);

@@ -101,9 +101,7 @@ impl Machine {
 
     /// Ids of GPU devices.
     pub fn gpu_ids(&self) -> Vec<DeviceId> {
-        self.device_ids()
-            .filter(|d| self.devices[d.index()].kind == DeviceKind::Gpu)
-            .collect()
+        self.device_ids().filter(|d| self.devices[d.index()].kind == DeviceKind::Gpu).collect()
     }
 
     /// The CPU device id.
@@ -151,12 +149,8 @@ pub fn efficiency(kind: OpKind, dev: DeviceKind) -> f64 {
         (Embedding, DeviceKind::Cpu) => 0.10,
         (Input, DeviceKind::Gpu) => 0.002,
         (Input, DeviceKind::Cpu) => 0.20,
-        (BatchNorm | LayerNorm | Activation | Elementwise | Reduce | Loss, DeviceKind::Gpu) => {
-            0.05
-        }
-        (BatchNorm | LayerNorm | Activation | Elementwise | Reduce | Loss, DeviceKind::Cpu) => {
-            0.02
-        }
+        (BatchNorm | LayerNorm | Activation | Elementwise | Reduce | Loss, DeviceKind::Gpu) => 0.05,
+        (BatchNorm | LayerNorm | Activation | Elementwise | Reduce | Loss, DeviceKind::Cpu) => 0.02,
         (Pool, DeviceKind::Gpu) => 0.10,
         (Pool, DeviceKind::Cpu) => 0.03,
         (GradAccum | ApplyUpdate, DeviceKind::Gpu) => 0.05,
@@ -189,9 +183,7 @@ mod tests {
         assert!(m.exec_time(OpKind::MatMul, f, gpu) < m.exec_time(OpKind::MatMul, f, cpu));
         let fi = 1e6;
         assert!(m.exec_time(OpKind::Input, fi, cpu) < m.exec_time(OpKind::Input, fi, gpu));
-        assert!(
-            m.exec_time(OpKind::Embedding, fi, cpu) < m.exec_time(OpKind::Embedding, fi, gpu)
-        );
+        assert!(m.exec_time(OpKind::Embedding, fi, cpu) < m.exec_time(OpKind::Embedding, fi, gpu));
     }
 
     #[test]

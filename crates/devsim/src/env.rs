@@ -18,7 +18,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::cache::{BaseEval, CacheStats, PlacementCache};
 use crate::device::Machine;
 use crate::placement::Placement;
-use crate::sim::{simulate, SimOutcome};
+use crate::sim::{simulate_recorded, SimOutcome};
 
 /// Default bound on the number of memoized placements per environment.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
@@ -194,11 +194,9 @@ impl RngState {
     /// Rebuilds the generator at the captured position. Fails (typed, no
     /// panic) when the snapshot was corrupted or hand-edited out of range.
     pub fn restore(&self) -> Result<ChaCha8Rng, EnvStateError> {
-        let key: [u32; 8] = self
-            .key
-            .as_slice()
-            .try_into()
-            .map_err(|_| EnvStateError::BadRng(format!("key has {} words, want 8", self.key.len())))?;
+        let key: [u32; 8] = self.key.as_slice().try_into().map_err(|_| {
+            EnvStateError::BadRng(format!("key has {} words, want 8", self.key.len()))
+        })?;
         let block: [u32; 16] = self.block.as_slice().try_into().map_err(|_| {
             EnvStateError::BadRng(format!("block has {} words, want 16", self.block.len()))
         })?;
@@ -409,8 +407,7 @@ impl Environment {
         let n_ops = self.graph.len();
         let n_dev = self.machine.num_devices();
         if let Some((_, p)) = &state.best {
-            p.validate(&self.graph, &self.machine)
-                .map_err(EnvStateError::BadPlacement)?;
+            p.validate(&self.graph, &self.machine).map_err(EnvStateError::BadPlacement)?;
         }
         let entries: Vec<(Box<[u8]>, BaseEval)> = state
             .cache_entries
@@ -484,8 +481,7 @@ impl Environment {
     }
 
     fn staging_cost(&self) -> f64 {
-        self.cfg.session_setup
-            + self.graph.total_param_bytes() as f64 / self.machine.link_bandwidth
+        self.cfg.session_setup + self.graph.total_param_bytes() as f64 / self.machine.link_bandwidth
     }
 
     fn noisy_mean(&mut self, base: f64, steps: usize) -> f64 {
@@ -505,9 +501,11 @@ impl Environment {
 
     /// The pure simulation step: noiseless, no RNG, no accounting. Takes
     /// `&self`, so it is safe to call concurrently from many threads — this is
-    /// the piece [`Environment::evaluate_batch`] fans out.
+    /// the piece [`Environment::evaluate_batch`] fans out. Engine telemetry
+    /// (`devsim.engine.*`) flows through the recorder; only order-independent
+    /// counters/histograms are emitted, so parallel workers stay deterministic.
     pub fn simulate_base(&self, placement: &Placement) -> BaseEval {
-        match simulate(&self.graph, &self.machine, placement) {
+        match simulate_recorded(&self.graph, &self.machine, placement, &self.recorder) {
             SimOutcome::Oom { .. } => BaseEval::Invalid,
             SimOutcome::Valid(stats) => BaseEval::Valid { step_time: stats.step_time },
         }
@@ -523,10 +521,7 @@ impl Environment {
     fn commit(&mut self, placement: &Placement, base: BaseEval, cached: bool) -> Measurement {
         self.evals += 1;
         self.recorder.add("devsim.evals", 1);
-        self.recorder.add(
-            if cached { "devsim.cache.hits" } else { "devsim.cache.misses" },
-            1,
-        );
+        self.recorder.add(if cached { "devsim.cache.hits" } else { "devsim.cache.misses" }, 1);
         let m = match base {
             BaseEval::Invalid => {
                 self.invalid += 1;
@@ -631,14 +626,9 @@ impl Environment {
             let simulated: Vec<Vec<(usize, BaseEval, f64)>> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = miss_idx
                     .chunks(chunk)
-                    .map(|ids| {
-                        s.spawn(move |_| ids.iter().map(|&i| timed_sim(env, i)).collect())
-                    })
+                    .map(|ids| s.spawn(move |_| ids.iter().map(|&i| timed_sim(env, i)).collect()))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("simulation worker panicked"))
-                    .collect()
+                handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
             })
             .expect("rollout worker panicked");
             for (i, base, sim_us) in simulated.into_iter().flatten() {
@@ -679,7 +669,7 @@ impl Environment {
     /// Measures a placement with the final protocol (1,000 steps): noise averages
     /// out, so this returns the near-exact step time.
     pub fn evaluate_final(&mut self, placement: &Placement) -> Option<f64> {
-        match simulate(&self.graph, &self.machine, placement) {
+        match simulate_recorded(&self.graph, &self.machine, placement, &self.recorder) {
             SimOutcome::Oom { .. } => None,
             SimOutcome::Valid(stats) => {
                 let mean = self.noisy_mean(stats.step_time, 995).min(
@@ -872,30 +862,16 @@ mod tests {
         let good = e.save_state();
 
         let mut bad_rng = good.clone();
-        bad_rng.rng = RngState {
-            key: vec![0; 7],
-            counter: 0,
-            block: vec![0; 16],
-            index: 0,
-        };
-        assert!(matches!(
-            e.restore_state(&bad_rng),
-            Err(EnvStateError::BadRng(_))
-        ));
+        bad_rng.rng = RngState { key: vec![0; 7], counter: 0, block: vec![0; 16], index: 0 };
+        assert!(matches!(e.restore_state(&bad_rng), Err(EnvStateError::BadRng(_))));
 
         let mut bad_cache = good.clone();
         bad_cache.cache_entries[0].devices = vec![0, 1, 2]; // graph has 2 ops
-        assert!(matches!(
-            e.restore_state(&bad_cache),
-            Err(EnvStateError::BadCache(_))
-        ));
+        assert!(matches!(e.restore_state(&bad_cache), Err(EnvStateError::BadCache(_))));
 
         let mut bad_best = good.clone();
         bad_best.best = Some((1.0, Placement::uniform(9, m.cpu_id())));
-        assert!(matches!(
-            e.restore_state(&bad_best),
-            Err(EnvStateError::BadPlacement(_))
-        ));
+        assert!(matches!(e.restore_state(&bad_best), Err(EnvStateError::BadPlacement(_))));
 
         // A failed restore leaves the environment untouched and usable.
         assert!(e.restore_state(&good).is_ok());
@@ -915,10 +891,8 @@ mod tests {
             EnvError::NoMeasuredSteps { train_steps: 5, warmup_steps: 5 }
         );
         let negative = MeasureConfig { noise_sigma: -0.1, ..Default::default() };
-        let err = Environment::builder(tiny_graph(), m.clone())
-            .measure(negative)
-            .build()
-            .unwrap_err();
+        let err =
+            Environment::builder(tiny_graph(), m.clone()).measure(negative).build().unwrap_err();
         assert_eq!(err, EnvError::BadKnob { name: "noise_sigma", value: -0.1 });
         assert!(err.to_string().contains("noise_sigma"), "errors must name the knob");
     }
@@ -927,10 +901,7 @@ mod tests {
     fn builder_defaults_match_explicit_settings() {
         let m = Machine::paper_machine();
         let p = Placement::uniform(2, m.gpu_ids()[0]);
-        let mut dflt = Environment::builder(tiny_graph(), m.clone())
-            .seed(9)
-            .build()
-            .unwrap();
+        let mut dflt = Environment::builder(tiny_graph(), m.clone()).seed(9).build().unwrap();
         let mut explicit = Environment::builder(tiny_graph(), m.clone())
             .seed(9)
             .measure(MeasureConfig::default())
@@ -947,11 +918,8 @@ mod tests {
         let rec = Recorder::new();
         let mut g = tiny_graph();
         g.node_mut(eagle_opgraph::OpId(0)).act_bytes = 20 << 30;
-        let mut env = Environment::builder(g, m.clone())
-            .seed(1)
-            .recorder(rec.clone())
-            .build()
-            .unwrap();
+        let mut env =
+            Environment::builder(g, m.clone()).seed(1).recorder(rec.clone()).build().unwrap();
         let oom = Placement::uniform(2, m.gpu_ids()[0]);
         let ok = Placement::uniform(2, m.cpu_id());
         env.evaluate(&oom);

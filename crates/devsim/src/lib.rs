@@ -11,7 +11,9 @@
 //!
 //! * [`Machine`] / [`DeviceSpec`] — the device model.
 //! * [`Placement`] — one device per op.
-//! * [`simulate`] — event-driven list scheduling of one training step.
+//! * [`engine`] — the causal discrete-event scheduling core (shared by
+//!   [`simulate`] and [`trace`], so the two views cannot drift).
+//! * [`simulate`] — one training step's makespan (OOM gate + engine).
 //! * [`Environment`] — the 15-step measurement protocol with noise and a simulated
 //!   wall-clock (the x-axis of the paper's training-curve figures).
 //! * [`predefined`] — Single-GPU and Human-Expert baseline placements.
@@ -23,6 +25,7 @@
 mod benchmarks;
 mod cache;
 mod device;
+pub mod engine;
 mod env;
 mod placement;
 pub mod predefined;
@@ -34,9 +37,10 @@ pub use benchmarks::{calibrate, Benchmark, PaperNumbers};
 pub use cache::{BaseEval, CacheStats, PlacementCache};
 pub use device::{efficiency, DeviceId, DeviceKind, DeviceSpec, Machine};
 pub use eagle_obs::resolve_workers;
+pub use engine::{OpSlot, Schedule, TransferSlot};
 pub use env::{
     CacheEntryState, EnvError, EnvSnapshot, EnvState, EnvStateError, Environment,
     EnvironmentBuilder, MeasureConfig, Measurement, RngState, DEFAULT_CACHE_CAPACITY,
 };
 pub use placement::Placement;
-pub use sim::{simulate, SimOutcome, StepStats};
+pub use sim::{simulate, simulate_recorded, SimOutcome, StepStats};

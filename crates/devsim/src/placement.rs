@@ -29,9 +29,7 @@ impl Placement {
     /// # Panics
     /// Panics if a group index is out of range of `group_devices`.
     pub fn from_groups(group_of: &[usize], group_devices: &[DeviceId]) -> Self {
-        Self {
-            devices: group_of.iter().map(|&g| group_devices[g]).collect(),
-        }
+        Self { devices: group_of.iter().map(|&g| group_devices[g]).collect() }
     }
 
     /// Number of ops covered.

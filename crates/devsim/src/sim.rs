@@ -1,20 +1,22 @@
 //! Discrete-event simulation of one training step under a placement.
 //!
-//! The simulator performs event-driven list scheduling of the op DAG over the
-//! machine's devices: each device executes one op at a time in ready-time order, and
-//! every cross-device data dependency pays a transfer serialized on its directed
-//! link. An op's output tensor is shipped at most **once per destination device** —
-//! real runtimes send one copy and fan consumers out locally, so several consumers
-//! on the same remote device share a single transfer. The resulting makespan is the
-//! per-step time — the quantity the paper measures on real hardware and feeds to
-//! the RL agent as (negated, square-rooted) reward.
+//! The scheduling itself lives in [`crate::engine`] — a causal discrete-event
+//! engine shared with [`crate::trace`] so the two views can never drift. This
+//! module wraps it with the memory-feasibility (OOM) gate and projects the full
+//! schedule down to the [`StepStats`] summary the RL reward consumes: each
+//! device executes one op at a time in ready-time order, every cross-device
+//! data dependency pays a transfer serialized on its directed link, and an op's
+//! output tensor is shipped at most **once per destination device** — real
+//! runtimes send one copy and fan consumers out locally, so several consumers
+//! on the same remote device share a single transfer. The resulting makespan is
+//! the per-step time — the quantity the paper measures on real hardware and
+//! feeds to the RL agent as (negated, square-rooted) reward.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use eagle_opgraph::{OpGraph, OpId};
+use eagle_obs::Recorder;
+use eagle_opgraph::OpGraph;
 
 use crate::device::{DeviceId, Machine};
+use crate::engine;
 use crate::placement::Placement;
 
 /// Result of simulating one training step.
@@ -58,20 +60,24 @@ pub struct StepStats {
     pub num_transfers: usize,
 }
 
-/// f64 ordered by `total_cmp` for use in the event heap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+/// Checks the placement's memory feasibility: resident bytes per device must
+/// fit. Shared by [`simulate`] and [`crate::trace::trace`].
+pub(crate) fn check_memory(
+    graph: &OpGraph,
+    machine: &Machine,
+    placement: &Placement,
+) -> Result<(), SimOutcome> {
+    let mem = placement.memory_per_device(graph, machine);
+    for (i, (&used, spec)) in mem.iter().zip(&machine.devices).enumerate() {
+        if used > spec.mem_bytes {
+            return Err(SimOutcome::Oom {
+                device: DeviceId(i as u8),
+                required: used,
+                capacity: spec.mem_bytes,
+            });
+        }
     }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
+    Ok(())
 }
 
 /// Simulates one training step of `graph` on `machine` under `placement`.
@@ -80,91 +86,46 @@ impl Ord for Time {
 /// Panics if the placement fails [`Placement::validate`] (programming error rather
 /// than an agent decision — agents only choose among existing devices).
 pub fn simulate(graph: &OpGraph, machine: &Machine, placement: &Placement) -> SimOutcome {
-    placement.validate(graph, machine).expect("placement matches graph and machine");
+    simulate_recorded(graph, machine, placement, &Recorder::disabled())
+}
 
+/// [`simulate`] with engine telemetry recorded to `recorder`.
+///
+/// Only order-independent metrics are emitted (counters and a histogram), so
+/// recording from parallel rollout workers stays deterministic:
+/// `devsim.engine.events` (events processed), `devsim.engine.transfers_deduped`
+/// (shipments reused by same-device consumers), and `devsim.engine.queue_depth`
+/// (peak event-queue depth per step, histogram).
+pub fn simulate_recorded(
+    graph: &OpGraph,
+    machine: &Machine,
+    placement: &Placement,
+    recorder: &Recorder,
+) -> SimOutcome {
     // Memory feasibility first: resident bytes per device must fit.
-    let mem = placement.memory_per_device(graph, machine);
-    for (i, (&used, spec)) in mem.iter().zip(&machine.devices).enumerate() {
-        if used > spec.mem_bytes {
-            return SimOutcome::Oom {
-                device: DeviceId(i as u8),
-                required: used,
-                capacity: spec.mem_bytes,
-            };
-        }
+    if let Err(oom) = check_memory(graph, machine, placement) {
+        return oom;
     }
 
-    let n = graph.len();
-    let mut in_remaining: Vec<u32> = (0..n).map(|i| graph.preds(OpId(i as u32)).len() as u32).collect();
-    // Latest data-arrival time at each op (over all incoming edges incl. transfers).
-    let mut arrival = vec![0.0f64; n];
-    let mut dev_free = vec![0.0f64; machine.num_devices()];
-    // Directed link availability, dense (num_devices is tiny).
-    let nd = machine.num_devices();
-    let mut link_free = vec![0.0f64; nd * nd];
-    let mut device_busy = vec![0.0f64; nd];
-    let mut comm_time = 0.0f64;
-    let mut num_transfers = 0usize;
-    let mut makespan = 0.0f64;
+    // Stats-only scheduling: skips recording the per-op slot vector, which
+    // `trace` needs but the step-time reward path never reads.
+    let sched = engine::schedule_stats(graph, machine, placement);
+    recorder.add("devsim.engine.events", sched.events_processed);
+    recorder.add("devsim.engine.transfers_deduped", sched.transfers_deduped);
+    recorder.observe("devsim.engine.queue_depth", sched.peak_queue_depth as f64);
 
-    let mut ready: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-    for (i, &deps) in in_remaining.iter().enumerate() {
-        if deps == 0 {
-            ready.push(Reverse((Time(0.0), i as u32)));
-        }
-    }
-
-    // Arrival time of the current op's output on each device, stamped with the
-    // producing op's index: consumers on the same remote device reuse the one
-    // shipped copy instead of paying the transfer per edge.
-    let mut shipped: Vec<(u32, f64)> = vec![(u32::MAX, 0.0); nd];
-
-    let mut scheduled = 0usize;
-    while let Some(Reverse((Time(rt), idx))) = ready.pop() {
-        let id = OpId(idx);
-        let node = graph.node(id);
-        let dev = placement.device(id);
-        let exec = machine.exec_time(node.kind, node.flops, dev);
-        let start = rt.max(dev_free[dev.index()]);
-        let finish = start + exec;
-        dev_free[dev.index()] = finish;
-        device_busy[dev.index()] += exec;
-        makespan = makespan.max(finish);
-        scheduled += 1;
-
-        for &succ in graph.succs(id) {
-            let sdev = placement.device(succ);
-            let data_at = if sdev == dev {
-                finish
-            } else if shipped[sdev.index()].0 == idx {
-                shipped[sdev.index()].1
-            } else {
-                let link = &mut link_free[dev.index() * nd + sdev.index()];
-                let t_start = finish.max(*link);
-                let t = machine.transfer_time(node.out_bytes);
-                *link = t_start + t;
-                comm_time += t;
-                num_transfers += 1;
-                shipped[sdev.index()] = (idx, t_start + t);
-                t_start + t
-            };
-            let s = succ.index();
-            arrival[s] = arrival[s].max(data_at);
-            in_remaining[s] -= 1;
-            if in_remaining[s] == 0 {
-                ready.push(Reverse((Time(arrival[s]), succ.0)));
-            }
-        }
-    }
-    assert_eq!(scheduled, n, "all ops schedule exactly once (graph is a DAG)");
-
-    SimOutcome::Valid(StepStats { step_time: makespan, device_busy, comm_time, num_transfers })
+    SimOutcome::Valid(StepStats {
+        step_time: sched.step_time,
+        device_busy: sched.device_busy,
+        comm_time: sched.comm_time,
+        num_transfers: sched.transfers.len(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eagle_opgraph::{OpKind, OpNode, Phase};
+    use eagle_opgraph::{OpId, OpKind, OpNode, Phase};
 
     /// chain: a -> b -> c, all MatMul with the given flops.
     fn chain(flops: f64, out_bytes: u64) -> OpGraph {
@@ -222,20 +183,12 @@ mod tests {
         let m = Machine::paper_machine();
         let gpus = m.gpu_ids();
         // b and c on different GPUs overlap; same GPU serializes them.
-        let same = simulate(
-            &g,
-            &m,
-            &Placement::new(vec![gpus[0], gpus[0], gpus[0], gpus[0]]),
-        )
-        .step_time()
-        .unwrap();
-        let split = simulate(
-            &g,
-            &m,
-            &Placement::new(vec![gpus[0], gpus[0], gpus[1], gpus[0]]),
-        )
-        .step_time()
-        .unwrap();
+        let same = simulate(&g, &m, &Placement::new(vec![gpus[0], gpus[0], gpus[0], gpus[0]]))
+            .step_time()
+            .unwrap();
+        let split = simulate(&g, &m, &Placement::new(vec![gpus[0], gpus[0], gpus[1], gpus[0]]))
+            .step_time()
+            .unwrap();
         assert!(split < same, "parallel {split} should beat serial {same}");
     }
 
@@ -246,13 +199,8 @@ mod tests {
         let m = Machine::paper_machine();
         let gpus = m.gpu_ids();
         let together = simulate(&g, &m, &Placement::uniform(3, gpus[0])).step_time().unwrap();
-        let apart = simulate(
-            &g,
-            &m,
-            &Placement::new(vec![gpus[0], gpus[1], gpus[2]]),
-        )
-        .step_time()
-        .unwrap();
+        let apart =
+            simulate(&g, &m, &Placement::new(vec![gpus[0], gpus[1], gpus[2]])).step_time().unwrap();
         assert!(apart > together * 5.0, "apart {apart} vs together {together}");
     }
 
@@ -348,6 +296,90 @@ mod tests {
     }
 
     #[test]
+    fn causal_link_contention_serializes_by_start_time() {
+        // Regression test for the causal-ordering contract of the event engine.
+        //
+        // Two producers on one device whose *ready order is inverted relative
+        // to op index*: `late` (op 0) becomes ready only after its heavy
+        // predecessor finishes, `early` (op 1) is ready at t=0. A pop-order
+        // scheduler keyed on (ready, index) still books `early`'s transfer
+        // first — but the engine must book the gpu0→gpu1 link in *actual
+        // transfer start* order, so `late`'s transfer queues strictly after
+        // `early`'s, and the makespan is exact.
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        let mut g = OpGraph::new("inverted_ready_order");
+        // Op 0: `late`, free compute, big output — ready at t = heavy finish.
+        let late = g.add_node(
+            OpNode::new("late", OpKind::MatMul, Phase::Forward)
+                .with_flops(0.0)
+                .with_out_bytes(120 << 20),
+        );
+        // Op 1: `early`, free compute, big output — ready at t = 0.
+        let early = g.add_node(
+            OpNode::new("early", OpKind::MatMul, Phase::Forward)
+                .with_flops(0.0)
+                .with_out_bytes(120 << 20),
+        );
+        // Op 2: `heavy` gates `late`; runs on gpu1 so it does not occupy the
+        // producers' device. 4.65e9 flops = 1 ms on a P100 at eff 0.5.
+        let heavy = g.add_node(
+            OpNode::new("heavy", OpKind::MatMul, Phase::Forward)
+                .with_flops(4.65e9)
+                .with_out_bytes(0),
+        );
+        // Op 3: sink on gpu2 consuming both transfers over the gpu0→gpu2 link.
+        let sink = g.add_node(OpNode::new("sink", OpKind::MatMul, Phase::Forward).with_flops(0.0));
+        g.add_edge(heavy, late);
+        g.add_edge(late, sink);
+        g.add_edge(early, sink);
+        let p = Placement::new(vec![gpus[0], gpus[0], gpus[1], gpus[2]]);
+
+        let launch = 30e-6; // GPU launch overhead
+        let heavy_finish = launch + 1e-3; // heavy: 4.65e9 / (9.3e12 * 0.5)
+        let xfer = m.transfer_time(120 << 20); // 250e-6 + bytes / 12e9
+                                               // `early` runs [0, launch]; its transfer starts at `launch`.
+        let early_xfer_end = launch + xfer;
+        // heavy→late crosses gpu1→gpu0: a zero-byte transfer still pays link
+        // latency, so `late` becomes ready at heavy_finish + transfer_time(0),
+        // runs for `launch`, and *requests* the gpu0→gpu2 link at:
+        let late_request = heavy_finish + m.transfer_time(0) + launch;
+        // `early`'s transfer is still in flight then (≈ 10.77 ms > 1.31 ms),
+        // so `late`'s transfer queues behind it — FIFO by actual start time:
+        let late_xfer_start = early_xfer_end.max(late_request);
+        // sink (zero flops, launch only) starts when the last input arrives.
+        let expected = late_xfer_start + xfer + launch;
+
+        let s = match simulate(&g, &m, &p) {
+            SimOutcome::Valid(s) => s,
+            _ => panic!("valid expected"),
+        };
+        assert!(
+            (s.step_time - expected).abs() < 1e-12,
+            "makespan {} vs expected {expected}",
+            s.step_time
+        );
+        // early→sink, heavy→late, late→sink.
+        assert_eq!(s.num_transfers, 3);
+
+        // The trace view exposes the booked intervals: on the contended
+        // gpu0→gpu2 link, `early`'s transfer is booked first even though
+        // `late` has the smaller op index.
+        let tr = crate::trace::trace(&g, &m, &p).unwrap();
+        let link: Vec<_> =
+            tr.transfers.iter().filter(|t| t.src == gpus[0].0 && t.dst == gpus[2].0).collect();
+        assert_eq!(link.len(), 2);
+        assert_eq!(link[0].producer, early.0, "early books the link first");
+        assert_eq!(link[1].producer, late.0);
+        assert!(link[1].start >= link[0].finish, "no overlap");
+        assert!(
+            (link[1].start - late_xfer_start).abs() < 1e-12,
+            "late transfer queues at {} (expected {late_xfer_start})",
+            link[1].start
+        );
+    }
+
+    #[test]
     fn deterministic() {
         let g = diamond(1e9);
         let m = Machine::paper_machine();
@@ -355,5 +387,26 @@ mod tests {
         let a = simulate(&g, &m, &p).step_time().unwrap();
         let b = simulate(&g, &m, &p).step_time().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_simulate_counts_engine_events() {
+        let g = diamond(1e9);
+        let m = Machine::paper_machine();
+        let gpus = m.gpu_ids();
+        let p = Placement::new(vec![gpus[0], gpus[1], gpus[1], gpus[1]]);
+        let rec = Recorder::new();
+        let out = simulate_recorded(&g, &m, &p, &rec);
+        assert!(matches!(out, SimOutcome::Valid(_)));
+        // 4 compute finishes + 1 arrival (a->gpu1, shared by b and c).
+        assert_eq!(rec.counter_value("devsim.engine.events"), 5);
+        assert_eq!(rec.counter_value("devsim.engine.transfers_deduped"), 1);
+        assert!(rec.histogram("devsim.engine.queue_depth").is_some());
+        // The OOM path never reaches the engine.
+        let mut big = diamond(1e9);
+        big.node_mut(OpId(0)).act_bytes = 20 << 30;
+        let rec2 = Recorder::new();
+        simulate_recorded(&big, &m, &Placement::uniform(4, gpus[0]), &rec2);
+        assert_eq!(rec2.counter_value("devsim.engine.events"), 0);
     }
 }

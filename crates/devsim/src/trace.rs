@@ -1,15 +1,24 @@
-//! Schedule tracing: per-op start/finish records and Chrome-trace export.
+//! Schedule tracing: per-op start/finish records, booked link transfers, and
+//! Chrome-trace export.
 //!
 //! `chrome://tracing` (or Perfetto) can load the exported JSON to visualize how a
 //! placement executes — which device runs what when, and where transfers serialize —
 //! the debugging view one needs when a "good-looking" placement simulates slow.
+//!
+//! The schedule itself comes from [`crate::engine`], the same causal
+//! discrete-event core [`crate::simulate`] projects its step time from, so the
+//! two views agree by construction (they used to be duplicated loops that had
+//! to be patched in lockstep).
 
 use eagle_opgraph::{OpGraph, OpId};
 use serde::Serialize;
 
 use crate::device::Machine;
+use crate::engine;
 use crate::placement::Placement;
-use crate::sim::{simulate, SimOutcome};
+use crate::sim::check_memory;
+
+pub use crate::engine::TransferSlot;
 
 /// One scheduled op in a simulated step.
 #[derive(Debug, Clone, Serialize)]
@@ -33,102 +42,45 @@ pub struct StepTrace {
     pub step_time: f64,
     /// Per-op schedule, in execution order.
     pub ops: Vec<ScheduledOp>,
+    /// Booked cross-device transfers, in causal booking order (per link:
+    /// non-overlapping, non-decreasing start times).
+    pub transfers: Vec<TransferSlot>,
 }
 
-/// Simulates one step and reconstructs the schedule. The reconstruction re-runs the
-/// same event-driven list scheduling as [`simulate`], so `step_time` matches it
-/// exactly (asserted in tests).
+/// Simulates one step and exposes the full schedule. Runs the same
+/// [`crate::engine`] as [`crate::simulate`], so `step_time` matches it exactly.
+/// Returns `None` when the placement OOMs (same gate as `simulate`).
 pub fn trace(graph: &OpGraph, machine: &Machine, placement: &Placement) -> Option<StepTrace> {
-    // Memory feasibility gate identical to `simulate`.
-    let expect = match simulate(graph, machine, placement) {
-        SimOutcome::Valid(s) => s.step_time,
-        SimOutcome::Oom { .. } => return None,
-    };
-
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    #[derive(PartialEq)]
-    struct T(f64);
-    impl Eq for T {}
-    impl PartialOrd for T {
-        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(o))
-        }
+    if check_memory(graph, machine, placement).is_err() {
+        return None;
     }
-    impl Ord for T {
-        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-            self.0.total_cmp(&o.0)
-        }
-    }
-
-    let n = graph.len();
-    let nd = machine.num_devices();
-    let mut in_remaining: Vec<u32> =
-        (0..n).map(|i| graph.preds(OpId(i as u32)).len() as u32).collect();
-    let mut arrival = vec![0.0f64; n];
-    let mut dev_free = vec![0.0f64; nd];
-    let mut link_free = vec![0.0f64; nd * nd];
-    let mut ready: BinaryHeap<Reverse<(T, u32)>> = BinaryHeap::new();
-    for (i, &deps) in in_remaining.iter().enumerate() {
-        if deps == 0 {
-            ready.push(Reverse((T(0.0), i as u32)));
-        }
-    }
-    let mut ops = Vec::with_capacity(n);
-    let mut makespan = 0.0f64;
-    // Same per-(producer, destination device) transfer dedup as `simulate`.
-    let mut shipped: Vec<(u32, f64)> = vec![(u32::MAX, 0.0); nd];
-    while let Some(Reverse((T(rt), idx))) = ready.pop() {
-        let id = OpId(idx);
-        let node = graph.node(id);
-        let dev = placement.device(id);
-        let exec = machine.exec_time(node.kind, node.flops, dev);
-        let start = rt.max(dev_free[dev.index()]);
-        let finish = start + exec;
-        dev_free[dev.index()] = finish;
-        makespan = makespan.max(finish);
-        ops.push(ScheduledOp {
-            op: idx,
-            name: node.name.clone(),
-            device: dev.0,
-            start,
-            finish,
-        });
-        for &succ in graph.succs(id) {
-            let sdev = placement.device(succ);
-            let data_at = if sdev == dev {
-                finish
-            } else if shipped[sdev.index()].0 == idx {
-                shipped[sdev.index()].1
-            } else {
-                let link = &mut link_free[dev.index() * nd + sdev.index()];
-                let t_start = finish.max(*link);
-                let t = machine.transfer_time(node.out_bytes);
-                *link = t_start + t;
-                shipped[sdev.index()] = (idx, t_start + t);
-                t_start + t
-            };
-            let s = succ.index();
-            arrival[s] = arrival[s].max(data_at);
-            in_remaining[s] -= 1;
-            if in_remaining[s] == 0 {
-                ready.push(Reverse((T(arrival[s]), succ.0)));
-            }
-        }
-    }
-    debug_assert!((makespan - expect).abs() < 1e-12, "trace must match simulate");
-    Some(StepTrace { step_time: makespan, ops })
+    let sched = engine::schedule(graph, machine, placement);
+    let ops = sched
+        .ops
+        .iter()
+        .map(|s| ScheduledOp {
+            op: s.op,
+            name: graph.node(OpId(s.op)).name.clone(),
+            device: s.device,
+            start: s.start,
+            finish: s.finish,
+        })
+        .collect();
+    Some(StepTrace { step_time: sched.step_time, ops, transfers: sched.transfers })
 }
 
 impl StepTrace {
     /// Exports the schedule in Chrome trace-event format (load in
     /// `chrome://tracing` or Perfetto). Times are emitted in microseconds.
+    /// Devices render as threads `0..num_devices`; each directed link with
+    /// booked transfers renders as its own thread after the devices.
     pub fn to_chrome_trace(&self, machine: &Machine) -> String {
         use serde_json::Value;
         let obj = |entries: Vec<(&str, Value)>| {
             Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
         };
+        let nd = machine.num_devices() as u64;
+        let link_tid = |src: u8, dst: u8| nd + (src as u64) * nd + dst as u64;
         let mut events: Vec<Value> = self
             .ops
             .iter()
@@ -144,7 +96,18 @@ impl StepTrace {
                 ])
             })
             .collect();
-        // Thread names = device names.
+        events.extend(self.transfers.iter().map(|t| {
+            obj(vec![
+                ("name", Value::from(format!("xfer op{} ({} B)", t.producer, t.bytes))),
+                ("cat", Value::from("transfer")),
+                ("ph", Value::from("X")),
+                ("ts", Value::from(t.start * 1e6)),
+                ("dur", Value::from((t.finish - t.start) * 1e6)),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(link_tid(t.src, t.dst))),
+            ])
+        }));
+        // Thread names = device names, then one lane per used link.
         events.extend(machine.devices.iter().enumerate().map(|(i, d)| {
             obj(vec![
                 ("name", Value::from("thread_name")),
@@ -152,6 +115,23 @@ impl StepTrace {
                 ("pid", Value::U64(0)),
                 ("tid", Value::U64(i as u64)),
                 ("args", obj(vec![("name", Value::from(d.name.as_str()))])),
+            ])
+        }));
+        let mut named_links: Vec<(u8, u8)> =
+            self.transfers.iter().map(|t| (t.src, t.dst)).collect();
+        named_links.sort_unstable();
+        named_links.dedup();
+        events.extend(named_links.into_iter().map(|(src, dst)| {
+            let name = format!(
+                "{}\u{2192}{}",
+                machine.devices[src as usize].name, machine.devices[dst as usize].name
+            );
+            obj(vec![
+                ("name", Value::from("thread_name")),
+                ("ph", Value::from("M")),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(link_tid(src, dst))),
+                ("args", obj(vec![("name", Value::from(name))])),
             ])
         }));
         let doc = obj(vec![
@@ -176,6 +156,7 @@ mod tests {
     use super::*;
     use crate::benchmarks::Benchmark;
     use crate::predefined;
+    use crate::sim::simulate;
 
     #[test]
     fn trace_matches_simulate_on_benchmarks() {
@@ -189,7 +170,7 @@ mod tests {
             };
             let t = trace(&graph, &machine, &placement).expect("valid placement");
             let s = simulate(&graph, &machine, &placement).step_time().unwrap();
-            assert!((t.step_time - s).abs() < 1e-12, "{}: {} vs {}", b.name(), t.step_time, s);
+            assert_eq!(t.step_time, s, "{}: shared engine matches exactly", b.name());
             assert_eq!(t.ops.len(), graph.len(), "every op scheduled once");
         }
     }
@@ -210,6 +191,33 @@ mod tests {
             intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in intervals.windows(2) {
                 assert!(w[1].0 >= w[0].1 - 1e-12, "overlap: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_are_causal_on_benchmarks() {
+        let machine = Machine::paper_machine();
+        let graph = Benchmark::Gnmt.graph_for(&machine);
+        let placement = predefined::human_expert(&graph, &machine).unwrap();
+        let t = trace(&graph, &machine, &placement).unwrap();
+        assert!(!t.transfers.is_empty(), "expert GNMT placement crosses devices");
+        let finish_of: std::collections::HashMap<u32, f64> =
+            t.ops.iter().map(|o| (o.op, o.finish)).collect();
+        let mut by_link: std::collections::HashMap<(u8, u8), Vec<&TransferSlot>> =
+            Default::default();
+        for tr in &t.transfers {
+            assert!(
+                tr.start >= finish_of[&tr.producer],
+                "transfer starts before its producer finishes: {tr:?}"
+            );
+            by_link.entry((tr.src, tr.dst)).or_default().push(tr);
+        }
+        // Booking order per link is FIFO: non-decreasing starts, no overlap.
+        for slots in by_link.values() {
+            for w in slots.windows(2) {
+                assert!(w[1].start >= w[0].start);
+                assert!(w[1].start >= w[0].finish);
             }
         }
     }
@@ -237,5 +245,20 @@ mod tests {
         assert!(util.iter().all(|&u| (0.0..=1.0 + 1e-9).contains(&u)));
         // Single-GPU placement: gpu:0 dominates.
         assert!(util[1] > 0.5, "utilization {util:?}");
+    }
+
+    #[test]
+    fn chrome_trace_renders_transfer_lanes() {
+        let machine = Machine::paper_machine();
+        let graph = Benchmark::BertBase.graph_for(&machine);
+        let placement = predefined::bert_layer_split(&graph, &machine);
+        let t = trace(&graph, &machine, &placement).unwrap();
+        assert!(!t.transfers.is_empty());
+        let json = t.to_chrome_trace(&machine);
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().unwrap();
+        let n_xfer = events.iter().filter(|e| e["cat"].as_str() == Some("transfer")).count();
+        assert_eq!(n_xfer, t.transfers.len());
+        assert!(json.contains('\u{2192}'), "link lanes are named src→dst");
     }
 }

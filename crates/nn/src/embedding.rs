@@ -95,9 +95,7 @@ mod tests {
     fn tiny() -> OpGraph {
         let mut g = OpGraph::new("t");
         let a = g.add_node(
-            OpNode::new("a", OpKind::MatMul, Phase::Forward)
-                .with_flops(1e6)
-                .with_out_bytes(64),
+            OpNode::new("a", OpKind::MatMul, Phase::Forward).with_flops(1e6).with_out_bytes(64),
         );
         let b = g.add_node(OpNode::new("b", OpKind::MatMul, Phase::Forward).with_flops(2e6));
         let c = g.add_node(OpNode::new("c", OpKind::Loss, Phase::Backward));

@@ -62,12 +62,7 @@ impl Grouper {
     /// by `k / n` so magnitudes stay O(1) regardless of graph size. Row `g` is the
     /// (soft) sum of features of ops assigned to group `g` — the quantity the
     /// linking RNN transforms into placer inputs.
-    pub fn soft_group_embeddings(
-        &self,
-        tape: &mut Tape,
-        logits: Var,
-        features: Var,
-    ) -> Var {
+    pub fn soft_group_embeddings(&self, tape: &mut Tape, logits: Var, features: Var) -> Var {
         let n = tape.value(features).rows().max(1);
         let soft = tape.softmax(logits); // (n, k)
         let soft_t = tape.transpose(soft); // (k, n)

@@ -27,5 +27,6 @@ pub use grouper::Grouper;
 pub use linear::{Activation, FeedForward, Linear};
 pub use lstm::{BiLstm, Lstm, LstmCell, LstmState};
 pub use placer::{
-    normalize_adjacency, AttentionMode, GcnPlacer, Placer, PlacerOutput, Seq2SeqPlacer, SimplePlacer,
+    normalize_adjacency, AttentionMode, GcnPlacer, Placer, PlacerOutput, Seq2SeqPlacer,
+    SimplePlacer,
 };

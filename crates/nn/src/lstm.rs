@@ -34,8 +34,10 @@ impl LstmCell {
         hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w_ih = params.add(format!("{name}/w_ih"), init::xavier_uniform(in_dim, 4 * hidden, rng));
-        let w_hh = params.add(format!("{name}/w_hh"), init::xavier_uniform(hidden, 4 * hidden, rng));
+        let w_ih =
+            params.add(format!("{name}/w_ih"), init::xavier_uniform(in_dim, 4 * hidden, rng));
+        let w_hh =
+            params.add(format!("{name}/w_hh"), init::xavier_uniform(hidden, 4 * hidden, rng));
         let mut bias = Tensor::zeros(1, 4 * hidden);
         // Forget-gate bias 1.0: standard trick to keep memory early in training.
         for j in hidden..2 * hidden {
@@ -101,12 +103,7 @@ impl Lstm {
 
     /// Runs over `xs (t, in_dim)` (each row one timestep) and returns the per-step
     /// hidden states stacked as `(t, hidden)` plus the final state.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        params: &Params,
-        xs: Var,
-    ) -> (Var, LstmState) {
+    pub fn forward(&self, tape: &mut Tape, params: &Params, xs: Var) -> (Var, LstmState) {
         let t = tape.value(xs).rows();
         let mut state = self.cell.zero_state(tape, 1);
         let mut outs = Vec::with_capacity(t);
@@ -163,9 +160,7 @@ impl BiLstm {
             bw_state = self.bw.step(tape, params, x, bw_state);
             bw_outs[i] = bw_state.h;
         }
-        let rows: Vec<Var> = (0..t)
-            .map(|i| tape.concat_cols(&[fw_outs[i], bw_outs[i]]))
-            .collect();
+        let rows: Vec<Var> = (0..t).map(|i| tape.concat_cols(&[fw_outs[i], bw_outs[i]])).collect();
         (tape.concat_rows(&rows), fw_state)
     }
 }

@@ -53,8 +53,26 @@ pub trait Placer {
     fn num_devices(&self) -> usize;
 }
 
+/// Samples an index from one softmax probability row by inverse-CDF.
+///
+/// Degenerate rows — a NaN/∞ entry or a near-zero sum, both producible by
+/// extreme logits overflowing the softmax — fall back to the argmax over the
+/// finite entries (first index on ties, 0 if nothing is finite) instead of
+/// silently returning the last device. The RNG is always advanced exactly
+/// once, so healthy rows keep the identical sampling stream they had before
+/// the guard existed.
 fn sample_row(probs: &[f32], rng: &mut dyn rand::RngCore) -> usize {
     let r: f32 = rng.gen();
+    let sum: f32 = probs.iter().sum();
+    if !sum.is_finite() || sum <= 1e-12 {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &p) in probs.iter().enumerate() {
+            if p.is_finite() && best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((i, p));
+            }
+        }
+        return best.map_or(0, |(i, _)| i);
+    }
     let mut acc = 0.0;
     for (i, &p) in probs.iter().enumerate() {
         acc += p;
@@ -135,10 +153,8 @@ impl Seq2SeqPlacer {
             attn_v: params.add(format!("{name}/attn_v"), init::xavier_uniform(attn_dim, 1, rng)),
             out: Linear::new(params, &format!("{name}/out"), out_in, n_devices, rng),
             // Row n_devices is the start-of-sequence token.
-            dev_emb: params.add(
-                format!("{name}/dev_emb"),
-                init::uniform(n_devices + 1, emb_dim, 0.1, rng),
-            ),
+            dev_emb: params
+                .add(format!("{name}/dev_emb"), init::uniform(n_devices + 1, emb_dim, 0.1, rng)),
             mode,
             hidden,
             n_devices,
@@ -191,10 +207,8 @@ impl Placer for Seq2SeqPlacer {
         let (enc_outs, enc_last) = self.encoder.forward(tape, params, xs); // (k, 2h)
         let enc_proj = self.attn_enc.forward(tape, params, enc_outs); // (k, a)
 
-        let mut state = crate::lstm::LstmState {
-            h: enc_last.h,
-            c: tape.leaf(Tensor::zeros(1, self.hidden)),
-        };
+        let mut state =
+            crate::lstm::LstmState { h: enc_last.h, c: tape.leaf(Tensor::zeros(1, self.hidden)) };
         let dev_table = tape.param(params, self.dev_emb);
         let mut prev_action = self.n_devices; // start token
         let mut actions = Vec::with_capacity(k);
@@ -260,7 +274,13 @@ impl GcnPlacer {
     ) -> Self {
         assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
         Self {
-            l1: FeedForward::new(params, &format!("{name}/gc1"), &[d_in, hidden], Activation::Identity, rng),
+            l1: FeedForward::new(
+                params,
+                &format!("{name}/gc1"),
+                &[d_in, hidden],
+                Activation::Identity,
+                rng,
+            ),
             l2: Linear::new(params, &format!("{name}/gc2"), hidden, n_devices, rng),
             adj,
             n_devices,
@@ -330,13 +350,7 @@ impl SimplePlacer {
         rng: &mut impl Rng,
     ) -> Self {
         Self {
-            net: FeedForward::new(
-                params,
-                name,
-                &[d_in, hidden, n_devices],
-                Activation::Relu,
-                rng,
-            ),
+            net: FeedForward::new(params, name, &[d_in, hidden, n_devices], Activation::Relu, rng),
             n_devices,
         }
     }
@@ -425,11 +439,41 @@ mod tests {
         let xv = tape.leaf(x.clone());
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let out = placer.forward(&mut tape, params, xv, forced, &mut rng);
-        (
-            out.actions.clone(),
-            tape.value(out.log_prob).item(),
-            tape.value(out.entropy).item(),
-        )
+        (out.actions.clone(), tape.value(out.log_prob).item(), tape.value(out.entropy).item())
+    }
+
+    #[test]
+    fn sample_row_degenerate_rows_fall_back_to_finite_argmax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // NaN poisons the sum: argmax over the finite entries wins.
+        assert_eq!(sample_row(&[f32::NAN, 0.2, 0.7], &mut rng), 2);
+        // Overflowed softmax (∞ entry): the ∞ is skipped, not "last device".
+        assert_eq!(sample_row(&[0.3, f32::INFINITY, 0.1], &mut rng), 0);
+        // Near-zero mass (all-underflowed row): first index on ties.
+        assert_eq!(sample_row(&[0.0, 0.0, 0.0], &mut rng), 0);
+        // Nothing finite at all: index 0, not a panic.
+        assert_eq!(sample_row(&[f32::NAN, f32::NAN], &mut rng), 0);
+        // Negative-underflow garbage still picks the largest finite entry.
+        assert_eq!(sample_row(&[-1.0, f32::NAN, -0.5], &mut rng), 2);
+    }
+
+    #[test]
+    fn sample_row_healthy_rows_keep_their_rng_stream() {
+        // The degenerate guard must consume exactly one draw, like the healthy
+        // path: interleaving degenerate calls cannot shift healthy samples.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let healthy = [0.1f32, 0.7, 0.2];
+        let _ = sample_row(&healthy, &mut a);
+        let first_a = sample_row(&healthy, &mut a);
+        let _ = sample_row(&[f32::NAN, 1.0], &mut b);
+        let first_b = sample_row(&healthy, &mut b);
+        assert_eq!(first_a, first_b);
+        // And a healthy row samples by inverse-CDF: probability-1 mass on one
+        // index always returns it.
+        for _ in 0..16 {
+            assert_eq!(sample_row(&[0.0, 1.0, 0.0], &mut a), 1);
+        }
     }
 
     #[test]

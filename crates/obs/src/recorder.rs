@@ -93,9 +93,7 @@ impl Recorder {
     /// owns a handle to the store, so it can outlive borrows of the recorder.
     #[must_use = "a span records its duration when dropped; binding it to _ discards the timing"]
     pub fn span(&self, name: &'static str) -> Span {
-        Span {
-            active: self.inner.clone().map(|inner| (inner, name, Instant::now())),
-        }
+        Span { active: self.inner.clone().map(|inner| (inner, name, Instant::now())) }
     }
 
     /// Current value of a counter (0 when absent or disabled).
@@ -115,22 +113,18 @@ impl Recorder {
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        self.with_state(|s| s.counters.iter().map(|(&k, &v)| (k, v)).collect())
-            .unwrap_or_default()
+        self.with_state(|s| s.counters.iter().map(|(&k, &v)| (k, v)).collect()).unwrap_or_default()
     }
 
     /// All gauges, sorted by name.
     pub fn gauges(&self) -> Vec<(&'static str, f64)> {
-        self.with_state(|s| s.gauges.iter().map(|(&k, &v)| (k, v)).collect())
-            .unwrap_or_default()
+        self.with_state(|s| s.gauges.iter().map(|(&k, &v)| (k, v)).collect()).unwrap_or_default()
     }
 
     /// Snapshots of all histograms, sorted by name.
     pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
-        self.with_state(|s| {
-            s.histograms.iter().map(|(&k, h)| (k, h.snapshot())).collect()
-        })
-        .unwrap_or_default()
+        self.with_state(|s| s.histograms.iter().map(|(&k, h)| (k, h.snapshot())).collect())
+            .unwrap_or_default()
     }
 
     /// All completed spans, in completion order.

@@ -76,10 +76,7 @@ pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()
     }
     for (name, h) in rec.histograms() {
         let buckets = Value::Array(
-            h.buckets
-                .iter()
-                .map(|&(ub, c)| Value::Array(vec![num(ub), Value::U64(c)]))
-                .collect(),
+            h.buckets.iter().map(|&(ub, c)| Value::Array(vec![num(ub), Value::U64(c)])).collect(),
         );
         let line = obj(vec![
             ("type", Value::from("histogram")),
@@ -157,8 +154,7 @@ mod tests {
             .collect();
         assert_eq!(lines[0]["type"].as_str(), Some("meta"));
         assert_eq!(lines[0]["schema_version"].as_u64(), Some(SCHEMA_VERSION));
-        let types: Vec<&str> =
-            lines.iter().filter_map(|l| l["type"].as_str()).collect();
+        let types: Vec<&str> = lines.iter().filter_map(|l| l["type"].as_str()).collect();
         for t in ["span", "counter", "gauge", "histogram"] {
             assert!(types.contains(&t), "missing line type {t}");
         }

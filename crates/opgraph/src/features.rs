@@ -35,10 +35,8 @@ fn log_scale(x: f64) -> f32 {
 /// The op's name scope: the name with its final segment removed and phase markers
 /// stripped (`grad/decoder/layer2/t7` -> `decoder/layer2`).
 fn name_scope(name: &str) -> &str {
-    let stripped = name
-        .strip_prefix("grad/")
-        .or_else(|| name.strip_prefix("update/"))
-        .unwrap_or(name);
+    let stripped =
+        name.strip_prefix("grad/").or_else(|| name.strip_prefix("update/")).unwrap_or(name);
     match stripped.rfind('/') {
         Some(i) => &stripped[..i],
         None => stripped,
@@ -147,13 +145,9 @@ mod tests {
 
     fn tiny() -> OpGraph {
         let mut g = OpGraph::new("tiny");
-        let a = g.add_node(
-            OpNode::new("in", OpKind::Input, Phase::Forward).with_out_bytes(100),
-        );
+        let a = g.add_node(OpNode::new("in", OpKind::Input, Phase::Forward).with_out_bytes(100));
         let b = g.add_node(
-            OpNode::new("mm", OpKind::MatMul, Phase::Forward)
-                .with_flops(1e9)
-                .with_out_bytes(400),
+            OpNode::new("mm", OpKind::MatMul, Phase::Forward).with_flops(1e9).with_out_bytes(400),
         );
         let c = g.add_node(OpNode::new("loss", OpKind::Loss, Phase::Forward));
         g.add_edge(a, b);
@@ -220,21 +214,10 @@ mod tests {
     #[test]
     fn name_scope_features_shared_across_phases() {
         let mut g = OpGraph::new("scopes");
-        let a = g.add_node(OpNode::new(
-            "decoder/layer2/t7",
-            OpKind::LstmCell,
-            Phase::Forward,
-        ));
-        let b = g.add_node(OpNode::new(
-            "grad/decoder/layer2/t9",
-            OpKind::LstmCell,
-            Phase::Backward,
-        ));
-        let c = g.add_node(OpNode::new(
-            "decoder/layer3/t7",
-            OpKind::LstmCell,
-            Phase::Forward,
-        ));
+        let a = g.add_node(OpNode::new("decoder/layer2/t7", OpKind::LstmCell, Phase::Forward));
+        let b =
+            g.add_node(OpNode::new("grad/decoder/layer2/t9", OpKind::LstmCell, Phase::Backward));
+        let c = g.add_node(OpNode::new("decoder/layer3/t7", OpKind::LstmCell, Phase::Forward));
         g.add_edge(a, b);
         g.add_edge(a, c);
         let f = node_features(&g);

@@ -98,10 +98,7 @@ pub const ALL_OP_KINDS: [OpKind; 21] = [
 impl OpKind {
     /// Stable index of this kind within [`ALL_OP_KINDS`] (one-hot feature position).
     pub fn feature_index(self) -> usize {
-        ALL_OP_KINDS
-            .iter()
-            .position(|&k| k == self)
-            .expect("kind present in ALL_OP_KINDS")
+        ALL_OP_KINDS.iter().position(|&k| k == self).expect("kind present in ALL_OP_KINDS")
     }
 
     /// True for ops that run efficiently on a CPU (or must run there), such as the
@@ -287,10 +284,8 @@ impl OpGraph {
     /// Panics if the graph contains a cycle (builders must produce DAGs).
     pub fn topo_order(&self) -> Vec<OpId> {
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
-        let mut queue: std::collections::VecDeque<OpId> = self
-            .ids()
-            .filter(|id| indeg[id.index()] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<OpId> =
+            self.ids().filter(|id| indeg[id.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(id) = queue.pop_front() {
             order.push(id);

@@ -64,15 +64,13 @@ pub fn partition_weighted(w: &WeightedGraph, k: usize, cfg: &FluidCommunities) -
             // Density votes from self and neighbors, weighted by edge weight so the
             // algorithm respects communication volume (NetworkX uses unweighted
             // counts; the weighting specializes it to the device-placement setting).
-            let mut votes: std::collections::HashMap<usize, f64> =
-                std::collections::HashMap::new();
+            let mut votes: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
             if let Some(c) = assign[v] {
                 *votes.entry(c).or_insert(0.0) += 1.0 / sizes[c].max(1) as f64;
             }
             for &(u, ew) in &w.adj[v] {
                 if let Some(c) = assign[u] {
-                    *votes.entry(c).or_insert(0.0) +=
-                        ew.ln_1p() / sizes[c].max(1) as f64;
+                    *votes.entry(c).or_insert(0.0) += ew.ln_1p() / sizes[c].max(1) as f64;
                 }
             }
             if votes.is_empty() {
@@ -103,11 +101,7 @@ pub fn partition_weighted(w: &WeightedGraph, k: usize, cfg: &FluidCommunities) -
     // Unassigned vertices (isolated / unreachable from any seed): smallest group.
     assign
         .into_iter()
-        .map(|a| {
-            a.unwrap_or_else(|| {
-                (0..k).min_by_key(|&c| sizes[c]).expect("k >= 1")
-            })
-        })
+        .map(|a| a.unwrap_or_else(|| (0..k).min_by_key(|&c| sizes[c]).expect("k >= 1")))
         .collect()
 }
 
@@ -148,11 +142,13 @@ mod tests {
         let mut g = OpGraph::new("cliques");
         let mut ids = Vec::new();
         for i in 0..12 {
-            ids.push(g.add_node(
-                OpNode::new(format!("n{i}"), OpKind::MatMul, Phase::Forward)
-                    .with_flops(1.0)
-                    .with_out_bytes(1000),
-            ));
+            ids.push(
+                g.add_node(
+                    OpNode::new(format!("n{i}"), OpKind::MatMul, Phase::Forward)
+                        .with_flops(1.0)
+                        .with_out_bytes(1000),
+                ),
+            );
         }
         for c in 0..2 {
             for i in 0..6 {

@@ -90,9 +90,7 @@ mod tests {
     fn weighted_view_symmetric() {
         let mut g = OpGraph::new("t");
         let a = g.add_node(
-            OpNode::new("a", OpKind::MatMul, Phase::Forward)
-                .with_flops(10.0)
-                .with_out_bytes(99),
+            OpNode::new("a", OpKind::MatMul, Phase::Forward).with_flops(10.0).with_out_bytes(99),
         );
         let b = g.add_node(OpNode::new("b", OpKind::MatMul, Phase::Forward));
         g.add_edge(a, b);

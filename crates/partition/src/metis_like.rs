@@ -95,10 +95,9 @@ fn coarsen_once(w: &WeightedGraph, rng: &mut ChaCha8Rng) -> (WeightedGraph, Vec<
         // Heaviest unmatched neighbor.
         let mut best: Option<(usize, f64)> = None;
         for &(u, ew) in &w.adj[v] {
-            if matched[u] == usize::MAX && u != v
-                && best.is_none_or(|(_, bw)| ew > bw) {
-                    best = Some((u, ew));
-                }
+            if matched[u] == usize::MAX && u != v && best.is_none_or(|(_, bw)| ew > bw) {
+                best = Some((u, ew));
+            }
         }
         let c = next_coarse;
         next_coarse += 1;
@@ -176,9 +175,7 @@ fn initial_partition(
     // Unreached vertices (disconnected or capped out): lightest group.
     for (v, a) in assign.iter_mut().enumerate() {
         if *a == usize::MAX {
-            let g = (0..k)
-                .min_by(|&x, &y| loads[x].total_cmp(&loads[y]))
-                .expect("k >= 1");
+            let g = (0..k).min_by(|&x, &y| loads[x].total_cmp(&loads[y])).expect("k >= 1");
             *a = g;
             loads[g] += w.node_weight[v];
         }
@@ -209,8 +206,7 @@ fn refine(
         for &v in &order {
             let from = assign[v];
             // Connectivity of v to each adjacent group.
-            let mut conn: std::collections::HashMap<usize, f64> =
-                std::collections::HashMap::new();
+            let mut conn: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
             for &(u, ew) in &w.adj[v] {
                 *conn.entry(assign[u]).or_insert(0.0) += ew;
             }
@@ -283,11 +279,13 @@ mod tests {
         use eagle_opgraph::{OpKind, OpNode, Phase};
         let mut ids = Vec::new();
         for i in 0..12 {
-            ids.push(g.add_node(
-                OpNode::new(format!("n{i}"), OpKind::MatMul, Phase::Forward)
-                    .with_flops(1.0)
-                    .with_out_bytes(1000),
-            ));
+            ids.push(
+                g.add_node(
+                    OpNode::new(format!("n{i}"), OpKind::MatMul, Phase::Forward)
+                        .with_flops(1.0)
+                        .with_out_bytes(1000),
+                ),
+            );
         }
         for c in 0..2 {
             for i in 0..6 {

@@ -19,13 +19,19 @@ pub struct TrainSample {
 }
 
 /// Statistics of one update, for logging and tests.
+///
+/// An "update" is one call to an algorithm's `update` method, which may run
+/// several gradient steps ([`Reinforce`]: exactly one, [`Ppo`]: `epochs`,
+/// [`CrossEntropyMin`]: `steps`). `loss` and `entropy` are means over *all*
+/// of the update's gradient steps — not just the last one — so the three
+/// algorithms report on the same scale.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateStats {
-    /// Mean loss across gradient steps.
+    /// Batch-mean loss, averaged across the update's gradient steps.
     pub loss: f32,
-    /// Mean policy entropy observed.
+    /// Batch-mean policy entropy, averaged across the update's gradient steps.
     pub entropy: f32,
-    /// Pre-clip global gradient norm of the last step.
+    /// Pre-clip global gradient norm of the last gradient step.
     pub grad_norm: f32,
 }
 
@@ -150,7 +156,9 @@ impl Ppo {
         self.opt = opt;
     }
 
-    /// Runs `epochs` gradient steps over the batch.
+    /// Runs `epochs` gradient steps over the batch. The returned stats average
+    /// loss and entropy over all epochs (see [`UpdateStats`]); `grad_norm` is
+    /// the last epoch's.
     pub fn update(
         &mut self,
         policy: &impl StochasticPolicy,
@@ -158,6 +166,7 @@ impl Ppo {
         batch: &[TrainSample],
     ) -> UpdateStats {
         assert!(!batch.is_empty(), "empty training batch");
+        assert!(self.epochs > 0, "ppo needs at least one epoch");
         let _timer = self.recorder.span("rl.ppo.update_us");
         let mut stats = UpdateStats::default();
         let scale = 1.0 / batch.len() as f32;
@@ -185,11 +194,13 @@ impl Ppo {
                 ent_total += h.tape.value(h.entropy).item();
                 h.tape.backward(loss, params);
             }
-            stats.loss = loss_total;
-            stats.entropy = ent_total * scale;
+            stats.loss += loss_total;
+            stats.entropy += ent_total * scale;
             stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
             self.opt.step(params);
         }
+        stats.loss /= self.epochs as f32;
+        stats.entropy /= self.epochs as f32;
         record_update(&self.recorder, &stats);
         stats
     }
@@ -229,7 +240,9 @@ impl CrossEntropyMin {
         self.opt = opt;
     }
 
-    /// Fits the policy towards the elite action vectors.
+    /// Fits the policy towards the elite action vectors. The returned stats
+    /// average the loss over all `steps` gradient steps (see [`UpdateStats`]);
+    /// `grad_norm` is the last step's.
     pub fn update(
         &mut self,
         policy: &impl StochasticPolicy,
@@ -237,6 +250,7 @@ impl CrossEntropyMin {
         elites: &[Vec<usize>],
     ) -> UpdateStats {
         assert!(!elites.is_empty(), "no elites to fit");
+        assert!(self.steps > 0, "cross-entropy needs at least one step");
         let _timer = self.recorder.span("rl.ce.update_us");
         let mut stats = UpdateStats::default();
         let scale = 1.0 / elites.len() as f32;
@@ -254,10 +268,11 @@ impl CrossEntropyMin {
                 loss_total += h.tape.value(loss).item();
                 h.tape.backward(loss, params);
             }
-            stats.loss = loss_total;
+            stats.loss += loss_total;
             stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
             self.opt.step(params);
         }
+        stats.loss /= self.steps as f32;
         record_update(&self.recorder, &stats);
         stats
     }
@@ -341,11 +356,8 @@ mod tests {
         let mk = |clip: Option<f32>| -> f32 {
             let mut params = Params::new();
             let bandit = Bandit::new(&mut params, 4);
-            let sample = TrainSample {
-                actions: vec![0],
-                old_log_prob: (0.25f32).ln(),
-                advantage: 50.0,
-            };
+            let sample =
+                TrainSample { actions: vec![0], old_log_prob: (0.25f32).ln(), advantage: 50.0 };
             match clip {
                 Some(c) => {
                     let mut tr = Ppo::new(test_cfg(), c, 40);
@@ -366,6 +378,44 @@ mod tests {
             clipped < unclipped,
             "clipping should slow the policy shift: {clipped} vs {unclipped}"
         );
+    }
+
+    #[test]
+    fn ppo_loss_is_mean_across_epochs() {
+        // One update with `epochs = 4` performs the same gradient-step
+        // trajectory as four consecutive `epochs = 1` updates (old_log_prob is
+        // frozen in the samples, the Adam state carries over) — and must
+        // report the mean of their losses, not the last epoch's.
+        let batch = vec![
+            TrainSample { actions: vec![2], old_log_prob: (0.25f32).ln(), advantage: 1.5 },
+            TrainSample { actions: vec![0], old_log_prob: (0.25f32).ln(), advantage: -0.5 },
+        ];
+        let mut params_a = Params::new();
+        let bandit_a = Bandit::new(&mut params_a, 4);
+        let mut tr_a = Ppo::new(test_cfg(), 0.3, 4);
+        let stats_a = tr_a.update(&bandit_a, &mut params_a, &batch);
+
+        let mut params_b = Params::new();
+        let bandit_b = Bandit::new(&mut params_b, 4);
+        let mut tr_b = Ppo::new(test_cfg(), 0.3, 1);
+        let mut losses = Vec::new();
+        let mut last = UpdateStats::default();
+        for _ in 0..4 {
+            last = tr_b.update(&bandit_b, &mut params_b, &batch);
+            losses.push(last.loss);
+        }
+        assert_eq!(bandit_a.probs(&params_a), bandit_b.probs(&params_b));
+        let mean: f32 = losses.iter().sum::<f32>() / losses.len() as f32;
+        assert!(
+            (stats_a.loss - mean).abs() < 1e-6,
+            "loss {} must be the epoch mean {mean}, not the last epoch's {}",
+            stats_a.loss,
+            last.loss
+        );
+        // The policy moves between epochs, so mean and last genuinely differ —
+        // otherwise this test could not distinguish the two semantics.
+        assert!((mean - last.loss).abs() > 1e-7, "epoch losses all equal: {losses:?}");
+        assert_eq!(stats_a.grad_norm, last.grad_norm, "grad_norm is the last epoch's");
     }
 
     #[test]

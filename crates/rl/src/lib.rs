@@ -17,6 +17,8 @@ mod algos;
 mod policy;
 mod reward;
 
-pub use algos::{top_k_indices, CrossEntropyMin, OptimConfig, Ppo, Reinforce, TrainSample, UpdateStats};
+pub use algos::{
+    top_k_indices, CrossEntropyMin, OptimConfig, Ppo, Reinforce, TrainSample, UpdateStats,
+};
 pub use policy::{ScoreHandle, StochasticPolicy};
 pub use reward::{invalid_reward, reward_from_time, EmaBaseline, RewardTransform};

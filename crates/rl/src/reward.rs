@@ -7,7 +7,14 @@
 
 /// Reward of a valid placement with per-step time `t` seconds: `-sqrt(t)`
 /// (the paper's Eq. 4 transform).
+///
+/// # Panics
+/// Panics on a non-finite or negative `t`: a NaN reward would silently poison
+/// the EMA baseline and every subsequent advantage, so a corrupted step time
+/// must fail loudly at the boundary instead. The simulator engine only emits
+/// finite non-negative makespans.
 pub fn reward_from_time(t: f64) -> f64 {
+    assert!(t.is_finite() && t >= 0.0, "step time must be finite and >= 0, got {t}");
     -t.sqrt()
 }
 
@@ -24,7 +31,11 @@ pub enum RewardTransform {
 
 impl RewardTransform {
     /// Applies the transform to a per-step time.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative `t` (see [`reward_from_time`]).
     pub fn apply(self, t: f64) -> f64 {
+        assert!(t.is_finite() && t >= 0.0, "step time must be finite and >= 0, got {t}");
         match self {
             RewardTransform::NegSqrt => -t.sqrt(),
             RewardTransform::NegLinear => -t,
@@ -132,5 +143,17 @@ mod tests {
     #[should_panic(expected = "alpha in [0, 1]")]
     fn bad_alpha_panics() {
         let _ = EmaBaseline::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn nan_step_time_panics() {
+        let _ = reward_from_time(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_step_time_panics() {
+        let _ = RewardTransform::NegLog.apply(-1.0);
     }
 }

@@ -24,11 +24,7 @@ pub fn kaiming_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
 
 /// Uniform initialization `U(-bound, bound)`.
 pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Tensor {
-    Tensor::from_vec(
-        rows,
-        cols,
-        (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect(),
-    )
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect())
 }
 
 /// All-zeros initialization (biases).

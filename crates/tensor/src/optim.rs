@@ -88,8 +88,7 @@ impl Adam {
                 v.data_mut()[j] = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
                 let m_hat = m.data()[j] / bc1;
                 let v_hat = v.data()[j] / bc2;
-                params.get_mut(id).data_mut()[j] -=
-                    self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                params.get_mut(id).data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         }
     }

@@ -146,11 +146,7 @@ impl Tape {
     /// `(n,m) + (1,m)`: adds a row vector (e.g. a bias) to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.value(b).rows(), 1, "broadcast operand must be a row vector");
-        assert_eq!(
-            self.value(a).cols(),
-            self.value(b).cols(),
-            "broadcast column mismatch"
-        );
+        assert_eq!(self.value(a).cols(), self.value(b).cols(), "broadcast column mismatch");
         let b_row = self.value(b).row(0).to_vec();
         let mut value = self.value(a).clone();
         for r in 0..value.rows() {
@@ -379,13 +375,7 @@ impl Tape {
         }
     }
 
-    fn accumulate(
-        &self,
-        i: usize,
-        gy: &Tensor,
-        grads: &mut [Option<Tensor>],
-        params: &mut Params,
-    ) {
+    fn accumulate(&self, i: usize, gy: &Tensor, grads: &mut [Option<Tensor>], params: &mut Params) {
         let y = &self.nodes[i].value;
         match &self.nodes[i].op {
             Op::Leaf => {}
@@ -456,8 +446,7 @@ impl Tape {
                 // dX = Y * (dY - rowdot(dY, Y)) per row.
                 let mut da = Tensor::zeros(y.rows(), y.cols());
                 for r in 0..y.rows() {
-                    let dot: f32 =
-                        gy.row(r).iter().zip(y.row(r)).map(|(&g, &s)| g * s).sum();
+                    let dot: f32 = gy.row(r).iter().zip(y.row(r)).map(|(&g, &s)| g * s).sum();
                     for c in 0..y.cols() {
                         da.set(r, c, y.get(r, c) * (gy.get(r, c) - dot));
                     }
@@ -534,8 +523,7 @@ impl Tape {
             }
             Op::MeanAll(a) => {
                 let src = self.value(*a);
-                let da =
-                    Tensor::full(src.rows(), src.cols(), gy.item() / src.len() as f32);
+                let da = Tensor::full(src.rows(), src.cols(), gy.item() / src.len() as f32);
                 self.bump(grads, *a, &da, 1.0);
             }
             Op::RowSums(a) => {
@@ -556,8 +544,7 @@ impl Tape {
                 self.bump(grads, *a, &da, 1.0);
             }
             Op::Clamp(a, lo, hi) => {
-                let da =
-                    gy.zip(self.value(*a), |g, x| if x > *lo && x < *hi { g } else { 0.0 });
+                let da = gy.zip(self.value(*a), |g, x| if x > *lo && x < *hi { g } else { 0.0 });
                 self.bump(grads, *a, &da, 1.0);
             }
             Op::MinElem(a, b) => {
@@ -567,13 +554,7 @@ impl Tape {
                         ta.rows(),
                         ta.cols(),
                         (0..ta.len())
-                            .map(|j| {
-                                if ta.data()[j] <= tb.data()[j] {
-                                    gy.data()[j]
-                                } else {
-                                    0.0
-                                }
-                            })
+                            .map(|j| if ta.data()[j] <= tb.data()[j] { gy.data()[j] } else { 0.0 })
                             .collect(),
                     );
                     self.bump(grads, *a, &da, 1.0);
@@ -583,13 +564,7 @@ impl Tape {
                         tb.rows(),
                         tb.cols(),
                         (0..tb.len())
-                            .map(|j| {
-                                if tb.data()[j] < ta.data()[j] {
-                                    gy.data()[j]
-                                } else {
-                                    0.0
-                                }
-                            })
+                            .map(|j| if tb.data()[j] < ta.data()[j] { gy.data()[j] } else { 0.0 })
                             .collect(),
                     );
                     self.bump(grads, *b, &db, 1.0);

@@ -9,9 +9,7 @@
 //! layer split against placements learned by Post (simple placer, PPO+CE) and by
 //! EAGLE (PPO), mirroring the BERT column of Table IV.
 
-use eagle::core::{
-    train, AgentScale, Algo, EagleAgent, FixedGroupAgent, TrainerConfig,
-};
+use eagle::core::{train, AgentScale, Algo, EagleAgent, FixedGroupAgent, TrainerConfig};
 use eagle::devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig};
 use eagle::partition::{metis_like::MetisLike, Partitioner};
 use eagle::tensor::Params;
@@ -63,10 +61,7 @@ fn main() {
     let eagle_result =
         train(&agent, &mut eagle_params, &mut env, &TrainerConfig::paper(Algo::Ppo, samples));
     let eagle_time = eagle_result.final_step_time.expect("eagle finds a valid placement");
-    println!(
-        "EAGLE (PPO): {eagle_time:.3} s/step ({} invalid)",
-        eagle_result.num_invalid
-    );
+    println!("EAGLE (PPO): {eagle_time:.3} s/step ({} invalid)", eagle_result.num_invalid);
 
     println!(
         "\nEAGLE vs Post: {:+.1}% (paper: -18.7%); vs layer split: {:+.1}%",

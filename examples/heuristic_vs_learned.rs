@@ -48,5 +48,7 @@ fn main() {
         }
         println!();
     }
-    println!("(the learned feed-forward grouper comparison is `cargo run -p eagle-bench --bin table1`)");
+    println!(
+        "(the learned feed-forward grouper comparison is `cargo run -p eagle-bench --bin table1`)"
+    );
 }

@@ -54,8 +54,5 @@ fn main() {
         result.num_invalid,
         env.wall_clock() / 3600.0
     );
-    println!(
-        "=> EAGLE vs single GPU: {:+.1}%",
-        (best / single.unwrap() - 1.0) * 100.0
-    );
+    println!("=> EAGLE vs single GPU: {:+.1}%", (best / single.unwrap() - 1.0) * 100.0);
 }

@@ -10,8 +10,8 @@
 //! environment from scratch exactly like a restarted binary would.
 
 use eagle::core::{
-    load_checkpoint, train, train_from, AgentScale, Algo, CheckpointError, EagleAgent,
-    TrainResult, TrainerConfig, CHECKPOINT_FILE,
+    load_checkpoint, train, train_from, AgentScale, Algo, CheckpointError, EagleAgent, TrainResult,
+    TrainerConfig, CHECKPOINT_FILE,
 };
 use eagle::devsim::{Environment, Machine, MeasureConfig};
 use eagle::opgraph::builders;
@@ -98,11 +98,7 @@ fn assert_bit_identical(a: &(TrainResult, Params), b: &(TrainResult, Params), ct
     assert_eq!(ra.curve.points.len(), rb.curve.points.len(), "{ctx}: curve length");
     for (i, (x, y)) in ra.curve.points.iter().zip(&rb.curve.points).enumerate() {
         assert_eq!(x.sample, y.sample, "{ctx}: point {i} sample");
-        assert_eq!(
-            x.wall_clock.to_bits(),
-            y.wall_clock.to_bits(),
-            "{ctx}: point {i} wall_clock"
-        );
+        assert_eq!(x.wall_clock.to_bits(), y.wall_clock.to_bits(), "{ctx}: point {i} wall_clock");
         assert_eq!(
             x.measured.map(f64::to_bits),
             y.measured.map(f64::to_bits),

@@ -97,15 +97,9 @@ fn training_is_deterministic_for_fixed_seeds() {
         let (graph, machine, mut env) = inception_env(5);
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let agent =
-            EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
-        let result =
-            train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
-        (
-            result.final_step_time,
-            result.num_invalid,
-            result.curve.points.last().unwrap().wall_clock,
-        )
+        let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+        let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+        (result.final_step_time, result.num_invalid, result.curve.points.last().unwrap().wall_clock)
     };
     assert_eq!(run(), run(), "same seeds must reproduce bit-identical runs");
 }

@@ -19,8 +19,7 @@ fn table4_static_columns() {
     .expect("inception fits one GPU");
     assert!((single - 0.071).abs() < 0.002, "calibrated to the paper's 0.071, got {single}");
     let expert = predefined::human_expert(&inception, &machine).expect("expert exists");
-    let expert_t =
-        eagle::devsim::simulate(&inception, &machine, &expert).step_time().unwrap();
+    let expert_t = eagle::devsim::simulate(&inception, &machine, &expert).step_time().unwrap();
     assert!((expert_t - single).abs() < 0.002, "expert == single GPU for inception");
 
     // GNMT: single GPU OOM, expert valid at the paper's 1.661.

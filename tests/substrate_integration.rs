@@ -101,9 +101,8 @@ fn smaller_machines_are_usable_end_to_end() {
     let g = Benchmark::BertBase.raw_graph();
     let gpus = machine.gpu_ids();
     let half = g.len() / 2;
-    let devices: Vec<DeviceId> = (0..g.len())
-        .map(|i| if i < half { gpus[0] } else { gpus[1] })
-        .collect();
+    let devices: Vec<DeviceId> =
+        (0..g.len()).map(|i| if i < half { gpus[0] } else { gpus[1] }).collect();
     match eagle::devsim::simulate(&g, &machine, &Placement::new(devices)) {
         SimOutcome::Oom { .. } => {}
         SimOutcome::Valid(_) => panic!("~32 GiB cannot fit 2x16 GiB"),

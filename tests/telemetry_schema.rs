@@ -51,10 +51,8 @@ fn jsonl_schema_v1_is_pinned() {
     let text = std::fs::read_to_string(&path).expect("read JSONL back");
     std::fs::remove_file(&path).ok();
 
-    let lines: Vec<Value> = text
-        .lines()
-        .map(|l| serde_json::from_str(l).expect("every line is valid JSON"))
-        .collect();
+    let lines: Vec<Value> =
+        text.lines().map(|l| serde_json::from_str(l).expect("every line is valid JSON")).collect();
     assert!(lines.len() > 1, "an instrumented run must emit metric lines");
 
     // Line 1 is the meta header carrying the pinned schema version.

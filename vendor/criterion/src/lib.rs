@@ -45,22 +45,14 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Runs a single named benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_named(name, self.default_samples, f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.to_owned(),
-            samples: self.default_samples,
-            _criterion: self,
-        }
+        BenchmarkGroup { name: name.to_owned(), samples: self.default_samples, _criterion: self }
     }
 }
 
@@ -79,11 +71,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark within the group.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_named(&format!("{}/{}", self.name, name), self.samples, f);
         self
     }

@@ -39,9 +39,7 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle {
-                inner: inner.spawn(move || f(&Scope { inner })),
-            }
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
         }
     }
 
@@ -52,9 +50,7 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| {
-            std::thread::scope(|s| f(&Scope { inner: s }))
-        }))
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
     }
 }
 
@@ -101,9 +97,7 @@ mod tests {
     #[test]
     fn nested_spawn_through_scope_arg() {
         let n = crate::thread::scope(|s| {
-            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
-                .join()
-                .unwrap()
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
         })
         .expect("no panics");
         assert_eq!(n, 42);

@@ -63,12 +63,7 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 impl ChaCha8Rng {
     /// Captures the generator's complete stream position.
     pub fn state(&self) -> ChaCha8State {
-        ChaCha8State {
-            key: self.key,
-            counter: self.counter,
-            block: self.block,
-            index: self.index,
-        }
+        ChaCha8State { key: self.key, counter: self.counter, block: self.block, index: self.index }
     }
 
     /// Rebuilds a generator at the exact position captured by [`ChaCha8Rng::state`].
@@ -77,12 +72,7 @@ impl ChaCha8Rng {
     /// Panics if `state.index > 16` (not a position this generator can reach).
     pub fn from_state(state: ChaCha8State) -> Self {
         assert!(state.index <= 16, "ChaCha8 word index out of range: {}", state.index);
-        Self {
-            key: state.key,
-            counter: state.counter,
-            block: state.block,
-            index: state.index,
-        }
+        Self { key: state.key, counter: state.counter, block: state.block, index: state.index }
     }
 
     fn refill(&mut self) {

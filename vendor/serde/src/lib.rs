@@ -39,9 +39,7 @@ impl Content {
     /// Looks up a key in a `Map` content.
     pub fn get_field(&self, key: &str) -> Option<&Content> {
         match self {
-            Content::Map(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }

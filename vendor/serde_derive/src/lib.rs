@@ -84,12 +84,10 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     // Skip attributes and visibility before the struct/enum keyword.
     let kind = loop {
         match tokens.next() {
-            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                match tokens.next() {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
-                    _ => return Err("malformed attribute".into()),
-                }
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return Err("malformed attribute".into()),
+            },
             Some(TokenTree::Ident(id)) => {
                 let s = id.to_string();
                 match s.as_str() {
@@ -158,9 +156,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
-                    )
+                    format!("(String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))")
                 })
                 .collect();
             format!(
@@ -274,10 +270,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             }
         }
         Input::UnitEnum { name, variants } => {
-            let arms: Vec<String> = variants
-                .iter()
-                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
-                .collect();
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{v:?} => Ok({name}::{v}),")).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\

@@ -103,9 +103,7 @@ impl Value {
     /// upstream serde_json's infallible indexing.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -118,9 +116,7 @@ impl Value {
             Content::I64(v) => Value::I64(*v),
             Content::F64(v) => Value::F64(*v),
             Content::Str(s) => Value::String(s.clone()),
-            Content::Seq(items) => {
-                Value::Array(items.iter().map(Value::from_content).collect())
-            }
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
             Content::Map(entries) => Value::Object(
                 entries.iter().map(|(k, v)| (k.clone(), Value::from_content(v))).collect(),
             ),
@@ -135,9 +131,7 @@ impl Value {
             Value::I64(v) => Content::I64(*v),
             Value::F64(v) => Content::F64(*v),
             Value::String(s) => Content::Str(s.clone()),
-            Value::Array(items) => {
-                Content::Seq(items.iter().map(Value::to_content_tree).collect())
-            }
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content_tree).collect()),
             Value::Object(entries) => Content::Map(
                 entries.iter().map(|(k, v)| (k.clone(), v.to_content_tree())).collect(),
             ),
@@ -312,10 +306,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::msg(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::msg(format!("expected '{}' at byte {}", b as char, self.pos)))
         }
     }
 
@@ -400,16 +391,12 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let b = self
-                .peek()
-                .ok_or_else(|| Error::msg("unterminated string"))?;
+            let b = self.peek().ok_or_else(|| Error::msg("unterminated string"))?;
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -432,8 +419,7 @@ impl Parser<'_> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(Error::msg("invalid low surrogate"));
                                     }
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(combined)
                                         .ok_or_else(|| Error::msg("invalid surrogate pair"))?
                                 } else {
@@ -446,10 +432,7 @@ impl Parser<'_> {
                             out.push(ch);
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "invalid escape '\\{}'",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("invalid escape '\\{}'", other as char)))
                         }
                     }
                 }
@@ -507,8 +490,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             if let Some(stripped) = text.strip_prefix('-') {
                 if let Ok(v) = stripped.parse::<u64>() {
@@ -559,8 +542,7 @@ mod tests {
 
     #[test]
     fn value_indexing() {
-        let doc: Value =
-            from_str(r#"{"traceEvents": [{"name": "op"}], "other": 1}"#).unwrap();
+        let doc: Value = from_str(r#"{"traceEvents": [{"name": "op"}], "other": 1}"#).unwrap();
         let events = doc["traceEvents"].as_array().unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0]["name"].as_str(), Some("op"));
