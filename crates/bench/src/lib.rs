@@ -14,7 +14,9 @@
 //! Every binary accepts `--scale tiny|quick|paper` (default `quick`), `--samples N`
 //! overrides per-model sample budgets, `--seed S`, `--out DIR` for CSV exports, and
 //! `--metrics PATH` to stream structured telemetry (spans, counters, histograms) to
-//! a JSONL file and print an end-of-run summary table.
+//! a JSONL file and print an end-of-run summary table. `rollout_throughput` also
+//! accepts `--baseline PATH` to gate its speedup ratios against a committed
+//! baseline artifact (exit non-zero on a >25% regression).
 //! Criterion micro-benchmarks live under `benches/`.
 
 #![warn(missing_docs)]
@@ -56,6 +58,10 @@ pub struct Cli {
     /// `--checkpoint-dir`). Runs without a checkpoint start fresh; corrupt
     /// checkpoints abort rather than being silently clobbered.
     pub resume: bool,
+    /// Baseline artifact to gate against (`--baseline PATH`): benchmarks that
+    /// support it compare their machine-robust ratios (speedups, not absolute
+    /// wall-clock) against this file and exit non-zero on a >25% regression.
+    pub baseline: Option<std::path::PathBuf>,
     /// The run's telemetry recorder: enabled iff `--metrics` was passed,
     /// otherwise a free no-op.
     pub recorder: Recorder,
@@ -73,6 +79,7 @@ impl Cli {
         let mut checkpoint_dir: Option<std::path::PathBuf> = None;
         let mut checkpoint_every = 10usize;
         let mut resume = false;
+        let mut baseline: Option<std::path::PathBuf> = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -114,9 +121,13 @@ impl Cli {
                         .expect("number");
                 }
                 "--resume" => resume = true,
+                "--baseline" => {
+                    i += 1;
+                    baseline = Some(args.get(i).expect("--baseline needs a value").into());
+                }
                 other => {
                     eprintln!(
-                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
+                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--baseline PATH]"
                     );
                     std::process::exit(2);
                 }
@@ -141,6 +152,7 @@ impl Cli {
             checkpoint_dir,
             checkpoint_every,
             resume,
+            baseline,
             recorder,
         }
     }
@@ -258,7 +270,7 @@ pub struct RunOutcome {
 /// truncated, or mismatched one aborts with the typed error's message rather
 /// than silently clobbering state the user asked to keep.
 pub fn train_resumable(
-    agent: &(impl PlacementAgent + Sync),
+    agent: &impl PlacementAgent,
     params: &mut Params,
     env: &mut Environment,
     cfg: &TrainerConfig,

@@ -14,7 +14,7 @@
 use eagle_devsim::{DeviceId, Machine, Placement};
 use eagle_nn::{AttentionMode, Grouper, Lstm, Placer, PlacerOutput, Seq2SeqPlacer};
 use eagle_opgraph::OpGraph;
-use eagle_rl::{ScoreHandle, StochasticPolicy};
+use eagle_rl::{BatchScoreHandle, EpisodeScore, ScoreHandle, StochasticPolicy};
 use eagle_tensor::{Params, Tape, Tensor, Var};
 use rand::Rng;
 
@@ -111,9 +111,10 @@ impl EagleAgent {
         self.num_groups
     }
 
-    /// Full forward pass; `forced` scores the given device actions instead of
-    /// sampling. Also returns the group-balance auxiliary loss (see
-    /// [`Self::balance_loss`]).
+    /// Full per-episode forward pass; `forced` scores the given device actions
+    /// instead of sampling. Also returns the group-balance auxiliary loss (see
+    /// [`Self::balance_loss`]). Kept as the reference implementation the batched
+    /// path is differential-tested against.
     fn forward(
         &self,
         params: &Params,
@@ -128,6 +129,28 @@ impl EagleAgent {
         let (linked, _) = self.link.forward(&mut tape, params, group_emb);
         let out = self.placer.forward(&mut tape, params, linked, forced, rng);
         (tape, out, aux)
+    }
+
+    /// Batched forward: the grouper, balance loss, and linking RNN are
+    /// episode-independent so they run *once*; the placer decodes all episodes
+    /// in one pass (it sees the same `linked` Var for every episode, so its
+    /// encoder also runs once).
+    fn forward_batch(
+        &self,
+        params: &Params,
+        forced: Option<&[&[usize]]>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> (Tape, Vec<PlacerOutput>, Var) {
+        let bsz = forced.map_or(rngs.len(), <[_]>::len);
+        let mut tape = Tape::new();
+        let f = tape.leaf(self.features.clone());
+        let logits = self.grouper.logits(&mut tape, params, f);
+        let aux = self.balance_loss(&mut tape, logits);
+        let group_emb = self.grouper.soft_group_embeddings(&mut tape, logits, f);
+        let (linked, _) = self.link.forward(&mut tape, params, group_emb);
+        let xs = vec![linked; bsz];
+        let outs = self.placer.forward_batch(&mut tape, params, &xs, forced, rngs);
+        (tape, outs, aux)
     }
 
     /// Group-balance regularizer: `coef * (ln k - H(usage))`, where `usage` is the
@@ -160,6 +183,36 @@ impl EagleAgent {
 }
 
 impl StochasticPolicy for EagleAgent {
+    fn rng_draws_per_sample(&self) -> usize {
+        self.num_groups
+    }
+
+    fn sample_batch(
+        &self,
+        params: &Params,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<(Vec<usize>, f32)> {
+        let (tape, outs, _) = self.forward_batch(params, None, rngs);
+        outs.into_iter().map(|out| (out.actions, tape.value(out.log_prob).item())).collect()
+    }
+
+    fn score_batch(&self, params: &Params, actions: &[Vec<usize>]) -> BatchScoreHandle {
+        let forced: Vec<&[usize]> = actions.iter().map(|a| a.as_slice()).collect();
+        let (tape, outs, aux) = self.forward_batch(params, Some(&forced), &mut []);
+        let episodes = outs
+            .into_iter()
+            .map(|out| EpisodeScore {
+                log_prob: out.log_prob,
+                entropy: out.entropy,
+                aux_loss: Some(aux),
+            })
+            .collect();
+        BatchScoreHandle { tape, episodes }
+    }
+
+    // Per-episode overrides keep the original single-episode graph construction
+    // as an independent reference for the batched path (the two are
+    // bit-identical; see the `eagle_rl::policy` contract).
     fn sample(&self, params: &Params, rng: &mut dyn rand::RngCore) -> (Vec<usize>, f32) {
         let (tape, out, _) = self.forward(params, None, rng);
         let logp = tape.value(out.log_prob).item();
@@ -179,11 +232,18 @@ impl PlacementAgent for EagleAgent {
         "EAGLE"
     }
 
-    fn decode(&self, params: &Params, actions: &[usize]) -> Placement {
-        assert_eq!(actions.len(), self.num_groups, "one device per group");
+    fn decode_batch(&self, params: &Params, actions: &[Vec<usize>]) -> Vec<Placement> {
+        // The grouper forward depends only on the parameters, not on the
+        // episode: run it once for the whole minibatch.
         let group_of = self.group_assignment(params);
-        let group_devices: Vec<DeviceId> = actions.iter().map(|&a| self.devices[a]).collect();
-        Placement::from_groups(&group_of, &group_devices)
+        actions
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), self.num_groups, "one device per group");
+                let group_devices: Vec<DeviceId> = a.iter().map(|&d| self.devices[d]).collect();
+                Placement::from_groups(&group_of, &group_devices)
+            })
+            .collect()
     }
 }
 

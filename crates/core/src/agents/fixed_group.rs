@@ -13,7 +13,7 @@ use eagle_nn::{
     embedding, normalize_adjacency, AttentionMode, GcnPlacer, Placer, Seq2SeqPlacer, SimplePlacer,
 };
 use eagle_opgraph::OpGraph;
-use eagle_rl::{ScoreHandle, StochasticPolicy};
+use eagle_rl::{BatchScoreHandle, EpisodeScore, ScoreHandle, StochasticPolicy};
 use eagle_tensor::{Params, Tape, Tensor};
 use rand::Rng;
 
@@ -150,6 +150,43 @@ impl FixedGroupAgent {
 }
 
 impl StochasticPolicy for FixedGroupAgent {
+    fn rng_draws_per_sample(&self) -> usize {
+        self.num_groups
+    }
+
+    fn sample_batch(
+        &self,
+        params: &Params,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<(Vec<usize>, f32)> {
+        let mut tape = Tape::new();
+        // One leaf Var shared by every episode: the placer runs its shared
+        // stages (e.g. the seq2seq encoder) once for the whole batch.
+        let x = tape.leaf(self.emb.clone());
+        let xs = vec![x; rngs.len()];
+        let outs = self.placer.forward_batch(&mut tape, params, &xs, None, rngs);
+        outs.into_iter().map(|out| (out.actions, tape.value(out.log_prob).item())).collect()
+    }
+
+    fn score_batch(&self, params: &Params, actions: &[Vec<usize>]) -> BatchScoreHandle {
+        let forced: Vec<&[usize]> = actions.iter().map(|a| a.as_slice()).collect();
+        let mut tape = Tape::new();
+        let x = tape.leaf(self.emb.clone());
+        let xs = vec![x; actions.len()];
+        let outs = self.placer.forward_batch(&mut tape, params, &xs, Some(&forced), &mut []);
+        let episodes = outs
+            .into_iter()
+            .map(|out| EpisodeScore {
+                log_prob: out.log_prob,
+                entropy: out.entropy,
+                aux_loss: None,
+            })
+            .collect();
+        BatchScoreHandle { tape, episodes }
+    }
+
+    // Per-episode overrides keep the original single-episode path as an
+    // independent reference for the batched one (bit-identical by contract).
     fn sample(&self, params: &Params, rng: &mut dyn rand::RngCore) -> (Vec<usize>, f32) {
         let mut tape = Tape::new();
         let x = tape.leaf(self.emb.clone());
@@ -173,10 +210,15 @@ impl PlacementAgent for FixedGroupAgent {
         &self.name
     }
 
-    fn decode(&self, _params: &Params, actions: &[usize]) -> Placement {
-        assert_eq!(actions.len(), self.num_groups, "one device per group");
-        let group_devices: Vec<DeviceId> = actions.iter().map(|&a| self.devices[a]).collect();
-        Placement::from_groups(&self.group_of, &group_devices)
+    fn decode_batch(&self, _params: &Params, actions: &[Vec<usize>]) -> Vec<Placement> {
+        actions
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), self.num_groups, "one device per group");
+                let group_devices: Vec<DeviceId> = a.iter().map(|&d| self.devices[d]).collect();
+                Placement::from_groups(&self.group_of, &group_devices)
+            })
+            .collect()
     }
 }
 

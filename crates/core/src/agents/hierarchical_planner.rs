@@ -12,7 +12,7 @@
 use eagle_devsim::{DeviceId, Machine, Placement};
 use eagle_nn::{embedding, AttentionMode, Grouper, Placer, Seq2SeqPlacer};
 use eagle_opgraph::OpGraph;
-use eagle_rl::{ScoreHandle, StochasticPolicy};
+use eagle_rl::{sample_categorical, BatchScoreHandle, EpisodeScore, ScoreHandle, StochasticPolicy};
 use eagle_tensor::{Params, Tape, Tensor, Var};
 use rand::Rng;
 
@@ -84,23 +84,7 @@ impl HpAgent {
         // Sample (or force) the hard grouping, one categorical per op.
         let group_of: Vec<usize> = match forced {
             Some(a) => a[..n].to_vec(),
-            None => {
-                use rand::Rng as _;
-                (0..n)
-                    .map(|i| {
-                        let row = tape.value(probs).row(i);
-                        let r: f32 = rng.gen();
-                        let mut acc = 0.0;
-                        for (j, &p) in row.iter().enumerate() {
-                            acc += p;
-                            if r < acc {
-                                return j;
-                            }
-                        }
-                        row.len() - 1
-                    })
-                    .collect()
-            }
+            None => (0..n).map(|i| sample_categorical(tape.value(probs).row(i), rng)).collect(),
         };
         let group_logp = tape.pick_per_row(log_probs, &group_of); // (n, 1)
         let group_logp_sum = tape.sum_all(group_logp);
@@ -122,9 +106,108 @@ impl HpAgent {
         actions.extend_from_slice(&out.actions);
         (tape, actions, log_prob, entropy)
     }
+
+    /// Batched forward. The grouper heads (logits, log-probs, entropy) are
+    /// episode-independent and run once; group sampling is episode-major so
+    /// stream `b` consumes its `n` group draws before its `k` placer draws,
+    /// exactly like a serial rollout on that stream; the per-episode hard group
+    /// embeddings then feed one batched placer pass.
+    fn forward_batch(
+        &self,
+        params: &Params,
+        forced: Option<&[&[usize]]>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> (Tape, Vec<(Vec<usize>, Var, Var)>) {
+        let n = self.graph.len();
+        let bsz = forced.map_or(rngs.len(), <[_]>::len);
+        let mut tape = Tape::new();
+        let f = tape.leaf(self.features.clone());
+        let logits = self.grouper.logits(&mut tape, params, f); // (n, k)
+        let log_probs = tape.log_softmax(logits);
+        let probs = tape.softmax(logits);
+
+        let groupings: Vec<Vec<usize>> = (0..bsz)
+            .map(|b| match forced {
+                Some(fa) => fa[b][..n].to_vec(),
+                None => {
+                    let pv = tape.value(probs);
+                    (0..n).map(|i| sample_categorical(pv.row(i), &mut *rngs[b])).collect()
+                }
+            })
+            .collect();
+        // Per-episode grouping log-probs before the shared entropy nodes, so the
+        // relative node order inside each episode matches the serial tape.
+        let group_logp_sums: Vec<Var> = groupings
+            .iter()
+            .map(|g| {
+                let picked = tape.pick_per_row(log_probs, g); // (n, 1)
+                tape.sum_all(picked)
+            })
+            .collect();
+        let plogp = tape.mul_elem(probs, log_probs);
+        let total = tape.sum_all(plogp);
+        let group_entropy = tape.scale(total, -1.0 / n as f32); // shared
+
+        let xs: Vec<Var> = groupings
+            .iter()
+            .map(|g| {
+                let emb = embedding::group_features(&self.graph, g, self.num_groups);
+                tape.leaf(emb)
+            })
+            .collect();
+        let placer_forced: Option<Vec<&[usize]>> =
+            forced.map(|fa| fa.iter().map(|a| &a[n..]).collect());
+        let outs =
+            self.placer.forward_batch(&mut tape, params, &xs, placer_forced.as_deref(), rngs);
+
+        let eps: Vec<(Vec<usize>, Var, Var)> = groupings
+            .into_iter()
+            .zip(group_logp_sums)
+            .zip(outs)
+            .map(|((grouping, gsum), out)| {
+                let log_prob = tape.add(gsum, out.log_prob);
+                let e2 = tape.add(group_entropy, out.entropy);
+                let entropy = tape.scale(e2, 0.5);
+                let mut actions = grouping;
+                actions.extend_from_slice(&out.actions);
+                (actions, log_prob, entropy)
+            })
+            .collect();
+        (tape, eps)
+    }
 }
 
 impl StochasticPolicy for HpAgent {
+    fn rng_draws_per_sample(&self) -> usize {
+        self.action_len()
+    }
+
+    fn sample_batch(
+        &self,
+        params: &Params,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<(Vec<usize>, f32)> {
+        let (tape, eps) = self.forward_batch(params, None, rngs);
+        eps.into_iter()
+            .map(|(actions, log_prob, _)| (actions, tape.value(log_prob).item()))
+            .collect()
+    }
+
+    fn score_batch(&self, params: &Params, actions: &[Vec<usize>]) -> BatchScoreHandle {
+        for a in actions {
+            assert_eq!(a.len(), self.action_len(), "full action vector required");
+        }
+        let forced: Vec<&[usize]> = actions.iter().map(|a| a.as_slice()).collect();
+        let (tape, eps) = self.forward_batch(params, Some(&forced), &mut []);
+        let episodes = eps
+            .into_iter()
+            .map(|(_, log_prob, entropy)| EpisodeScore { log_prob, entropy, aux_loss: None })
+            .collect();
+        BatchScoreHandle { tape, episodes }
+    }
+
+    // Per-episode overrides keep the original single-episode path as an
+    // independent reference for the batched one (bit-identical by contract).
     fn sample(&self, params: &Params, rng: &mut dyn rand::RngCore) -> (Vec<usize>, f32) {
         let (tape, actions, log_prob, _) = self.forward(params, None, rng);
         let logp = tape.value(log_prob).item();
@@ -145,11 +228,17 @@ impl PlacementAgent for HpAgent {
         "Hierarchical Planner"
     }
 
-    fn decode(&self, _params: &Params, actions: &[usize]) -> Placement {
+    fn decode_batch(&self, _params: &Params, actions: &[Vec<usize>]) -> Vec<Placement> {
         let n = self.graph.len();
-        assert_eq!(actions.len(), self.action_len(), "full action vector required");
-        let group_devices: Vec<DeviceId> = actions[n..].iter().map(|&a| self.devices[a]).collect();
-        Placement::from_groups(&actions[..n], &group_devices)
+        actions
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), self.action_len(), "full action vector required");
+                let group_devices: Vec<DeviceId> =
+                    a[n..].iter().map(|&d| self.devices[d]).collect();
+                Placement::from_groups(&a[..n], &group_devices)
+            })
+            .collect()
     }
 }
 

@@ -13,13 +13,28 @@ use eagle_rl::StochasticPolicy;
 use eagle_tensor::{Params, Tensor};
 
 /// A policy whose actions decode into a device placement for a concrete graph.
+///
+/// Like [`StochasticPolicy`], the trait is batched-first: implementors provide
+/// [`PlacementAgent::decode_batch`], which amortizes any parameter-dependent
+/// work (e.g. the grouper forward of hierarchical agents) across the whole
+/// minibatch, and the per-episode [`PlacementAgent::decode`] is a default
+/// wrapper over batch size 1.
 pub trait PlacementAgent: StochasticPolicy {
     /// Display name for tables and curves.
     fn name(&self) -> &str;
 
-    /// Decodes a sampled action vector into a full per-op placement, using the
-    /// current parameters (the grouping of hierarchical agents depends on them).
-    fn decode(&self, params: &Params, actions: &[usize]) -> Placement;
+    /// Decodes one placement per sampled action vector, using the current
+    /// parameters. Parameter-dependent decode state (the grouping of
+    /// hierarchical agents) is computed once for the whole batch.
+    fn decode_batch(&self, params: &Params, actions: &[Vec<usize>]) -> Vec<Placement>;
+
+    /// Decodes a single action vector; thin wrapper over a one-episode
+    /// [`PlacementAgent::decode_batch`].
+    fn decode(&self, params: &Params, actions: &[usize]) -> Placement {
+        self.decode_batch(params, &[actions.to_vec()])
+            .pop()
+            .expect("decode_batch returns one placement per action vector")
+    }
 }
 
 /// The action-index -> device mapping shared by all agents: action `a` selects

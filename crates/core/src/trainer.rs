@@ -84,10 +84,12 @@ pub struct TrainerConfig {
     pub seed: u64,
     /// The algorithm.
     pub algo: Algo,
-    /// Worker threads for the rollout engine (0 = one per available core,
-    /// 1 = fully serial). The trained policy, curve and best placement are
-    /// identical for every value — only host wall-time changes (see DESIGN.md,
-    /// "Parallel rollout engine").
+    /// Worker threads for the simulation side of the rollout engine (0 = one
+    /// per available core, 1 = fully serial). Sampling and decoding run as one
+    /// batched forward pass regardless of this setting; only cache-miss
+    /// placement simulations fan out. The trained policy, curve and best
+    /// placement are identical for every value — only host wall-time changes
+    /// (see DESIGN.md, "Parallel rollout engine" and "Batched policy API").
     pub workers: usize,
     /// Rolling window (in samples) of the action/reward history kept for CE
     /// elite selection. The effective window is
@@ -207,16 +209,20 @@ struct LoopState {
 
 /// Runs the full training loop of `agent` against `env`, starting fresh.
 ///
-/// Sampling stays serial and seeded, so the action sequences — and therefore
+/// Each minibatch is sampled and decoded as *one* batched forward pass
+/// ([`StochasticPolicy::sample_batch`](eagle_rl::StochasticPolicy::sample_batch)
+/// / [`PlacementAgent::decode_batch`]) over per-episode RNG streams forked off
+/// the seeded trainer RNG with [`eagle_rl::fork_streams`]. Batching is
+/// bit-identical to the per-episode path and the master RNG advances exactly
+/// as a serial sampling loop would, so the action sequences — and therefore
 /// the curve, the trained policy and the best placement — are bit-identical
-/// for every `cfg.workers` value. Only the pure parts of each episode
-/// (`agent.decode` and the placement simulation) fan out across threads.
+/// for every `cfg.workers` value and across checkpoint resumes.
 ///
 /// With `cfg.checkpoint_every` and `cfg.checkpoint_dir` both set, the loop
 /// additionally saves a resumable [`TrainerState`] every *k* minibatches; pass
 /// a loaded state to [`train_from`] to continue bit-identically.
 pub fn train(
-    agent: &(impl PlacementAgent + Sync),
+    agent: &impl PlacementAgent,
     params: &mut Params,
     env: &mut Environment,
     cfg: &TrainerConfig,
@@ -254,7 +260,7 @@ pub fn train(
 /// fit the given agent, parameter layout, or environment; on failure `params`
 /// and `env` are left unmodified.
 pub fn train_from(
-    agent: &(impl PlacementAgent + Sync),
+    agent: &impl PlacementAgent,
     params: &mut Params,
     env: &mut Environment,
     cfg: &TrainerConfig,
@@ -322,7 +328,7 @@ fn check_param_layout(current: &Params, saved: &Params) -> Result<(), ResumeErro
 
 /// The shared minibatch loop behind [`train`] and [`train_from`].
 fn run_loop(
-    agent: &(impl PlacementAgent + Sync),
+    agent: &impl PlacementAgent,
     params: &mut Params,
     env: &mut Environment,
     cfg: &TrainerConfig,
@@ -351,34 +357,26 @@ fn run_loop(
         let batch_size = cfg.minibatch.min(cfg.total_samples - st.samples);
         rec.add("trainer.minibatches", 1);
 
-        // Phase A (serial, seeded): draw the minibatch's action sequences.
-        // This is the only consumer of the trainer RNG, so batching preserves
-        // the exact serial action stream.
+        // Phase A (seeded): draw the minibatch's action sequences in one
+        // batched forward pass. Each episode samples from its own stream
+        // forked off the trainer RNG; `fork_streams` advances the master RNG
+        // past exactly the draws a serial per-episode loop would consume, so
+        // the action stream — and the checkpointed RNG position — is
+        // bit-identical to per-episode sampling.
         let sample_span = rec.span("trainer.sample_us");
-        let drawn: Vec<_> = (0..batch_size).map(|_| agent.sample(params, &mut st.rng)).collect();
+        let mut streams =
+            eagle_rl::fork_streams(&mut st.rng, agent.rng_draws_per_sample(), batch_size);
+        let mut rng_refs: Vec<&mut dyn rand::RngCore> =
+            streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
+        let drawn = agent.sample_batch(params, &mut rng_refs);
         drop(sample_span);
+        let (actions_batch, old_log_probs): (Vec<Vec<usize>>, Vec<f32>) = drawn.into_iter().unzip();
 
-        // Phase B (parallel): decode actions into placements — a pure forward
-        // pass through the frozen placer, safe to fan out.
+        // Phase B: decode actions into placements — one batched pass, so
+        // parameter-dependent decode state (EAGLE's grouper forward) is
+        // computed once per minibatch instead of once per episode.
         let decode_span = rec.span("trainer.decode_us");
-        let placements: Vec<Placement> = if workers > 1 && batch_size > 1 {
-            let params_ref: &Params = params;
-            let mut out: Vec<Option<Placement>> = vec![None; batch_size];
-            let chunk = batch_size.div_ceil(workers);
-            crossbeam::thread::scope(|s| {
-                for (acts, slots) in drawn.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                    s.spawn(move |_| {
-                        for ((actions, _), slot) in acts.iter().zip(slots.iter_mut()) {
-                            *slot = Some(agent.decode(params_ref, actions));
-                        }
-                    });
-                }
-            })
-            .expect("decode worker panicked");
-            out.into_iter().map(|p| p.expect("every action sequence decoded")).collect()
-        } else {
-            drawn.iter().map(|(actions, _)| agent.decode(params, actions)).collect()
-        };
+        let placements: Vec<Placement> = agent.decode_batch(params, &actions_batch);
         drop(decode_span);
 
         // Phase C: evaluate the minibatch (cache probes and noise serial,
@@ -397,7 +395,7 @@ fn run_loop(
         let update_span = rec.span("trainer.update_us");
         let mut batch: Vec<TrainSample> = Vec::with_capacity(batch_size);
         for (((actions, old_log_prob), placement), meas) in
-            drawn.into_iter().zip(&placements).zip(&measurements)
+            actions_batch.into_iter().zip(old_log_probs).zip(&placements).zip(&measurements)
         {
             st.samples += 1;
             st.since_ce += 1;

@@ -448,12 +448,6 @@ impl Environment {
         Ok(())
     }
 
-    /// Hit/miss counters of the placement cache.
-    #[deprecated(since = "0.1.0", note = "use Environment::snapshot().cache")]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
     /// The graph being placed.
     pub fn graph(&self) -> &OpGraph {
         &self.graph
@@ -462,12 +456,6 @@ impl Environment {
     /// The machine placements run on.
     pub fn machine(&self) -> &Machine {
         &self.machine
-    }
-
-    /// Number of evaluations performed.
-    #[deprecated(since = "0.1.0", note = "use Environment::snapshot().evals")]
-    pub fn num_evals(&self) -> u64 {
-        self.evals
     }
 
     /// Simulated wall-clock spent measuring so far (the x-axis of Figs. 5–7).

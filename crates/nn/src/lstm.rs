@@ -163,6 +163,67 @@ impl BiLstm {
         let rows: Vec<Var> = (0..t).map(|i| tape.concat_cols(&[fw_outs[i], bw_outs[i]])).collect();
         (tape.concat_rows(&rows), fw_state)
     }
+
+    /// Runs the encoder over `B` equal-length sequences in lockstep — each
+    /// timestep is one `(B, in_dim)` step through the cells instead of `B`
+    /// separate `(1, in_dim)` steps — returning per-sequence `(t, 2*hidden)`
+    /// outputs and final forward-direction states.
+    ///
+    /// Bit-identical per sequence to [`BiLstm::forward`]: the step math
+    /// (matmul, bias broadcast, gates) is row-wise, so stacking sequences as
+    /// extra rows leaves each sequence's f32 summation order unchanged.
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        xs: &[Var],
+    ) -> Vec<(Var, LstmState)> {
+        let bsz = xs.len();
+        assert!(bsz > 0, "at least one sequence");
+        let t = tape.value(xs[0]).rows();
+        for &x in xs {
+            assert_eq!(tape.value(x).rows(), t, "all sequences share one length");
+        }
+        let step_input = |tape: &mut Tape, i: usize| -> Var {
+            if bsz == 1 {
+                tape.slice_rows(xs[0], i, 1)
+            } else {
+                let rows: Vec<Var> = xs.iter().map(|&x| tape.slice_rows(x, i, 1)).collect();
+                tape.concat_rows(&rows)
+            }
+        };
+        let mut fw_state = self.fw.zero_state(tape, bsz);
+        let mut fw_outs = Vec::with_capacity(t);
+        for i in 0..t {
+            let x = step_input(tape, i);
+            fw_state = self.fw.step(tape, params, x, fw_state);
+            fw_outs.push(fw_state.h);
+        }
+        let mut bw_state = self.bw.zero_state(tape, bsz);
+        let mut bw_outs = vec![fw_outs[0]; t];
+        for i in (0..t).rev() {
+            let x = step_input(tape, i);
+            bw_state = self.bw.step(tape, params, x, bw_state);
+            bw_outs[i] = bw_state.h;
+        }
+        (0..bsz)
+            .map(|b| {
+                let rows: Vec<Var> = (0..t)
+                    .map(|i| {
+                        let f = tape.slice_rows(fw_outs[i], b, 1);
+                        let w = tape.slice_rows(bw_outs[i], b, 1);
+                        tape.concat_cols(&[f, w])
+                    })
+                    .collect();
+                let outs = tape.concat_rows(&rows);
+                let last = LstmState {
+                    h: tape.slice_rows(fw_state.h, b, 1),
+                    c: tape.slice_rows(fw_state.c, b, 1),
+                };
+                (outs, last)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

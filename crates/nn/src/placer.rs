@@ -6,11 +6,12 @@
 //! *teacher-forces* a given action sequence (needed to re-evaluate log-probabilities
 //! of old samples under new parameters for PPO's ratio).
 
+use eagle_rl::sample_categorical;
 use eagle_tensor::{init, ParamId, Params, Tape, Tensor, Var};
 use rand::Rng;
 
 use crate::linear::{Activation, FeedForward, Linear};
-use crate::lstm::{BiLstm, LstmCell};
+use crate::lstm::{BiLstm, LstmCell, LstmState};
 
 /// Where the attention context enters the decoder (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,12 @@ pub struct PlacerOutput {
 }
 
 /// Common interface of the two placer designs.
+///
+/// [`Placer::forward_batch`] is the primitive the agents' hot paths use: it
+/// decodes a whole minibatch with one `(B·n, h)`-shaped matmul per layer.
+/// [`Placer::forward`] is the original per-episode implementation, kept as the
+/// reference the batched path is differential-tested against (the two are
+/// bit-identical per episode; see the `eagle_rl::policy` bit-identity contract).
 pub trait Placer {
     /// Decodes a placement for `x: (k, d_in)` group embeddings. When `forced` is
     /// given, its actions are scored instead of sampling new ones.
@@ -49,38 +56,48 @@ pub trait Placer {
         rng: &mut dyn rand::RngCore,
     ) -> PlacerOutput;
 
+    /// Decodes one placement per episode in a single batched pass. `xs` holds
+    /// one `(k, d_in)` input per episode — passing the *same* `Var` for every
+    /// episode makes shared-input work (e.g. the encoder) run once. When
+    /// `forced` is absent, episode `b` samples from `rngs[b]` only, consuming
+    /// draws in the same order a serial [`Placer::forward`] call would.
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        xs: &[Var],
+        forced: Option<&[&[usize]]>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<PlacerOutput>;
+
     /// Number of devices the placer chooses among.
     fn num_devices(&self) -> usize;
 }
 
-/// Samples an index from one softmax probability row by inverse-CDF.
-///
-/// Degenerate rows — a NaN/∞ entry or a near-zero sum, both producible by
-/// extreme logits overflowing the softmax — fall back to the argmax over the
-/// finite entries (first index on ties, 0 if nothing is finite) instead of
-/// silently returning the last device. The RNG is always advanced exactly
-/// once, so healthy rows keep the identical sampling stream they had before
-/// the guard existed.
-fn sample_row(probs: &[f32], rng: &mut dyn rand::RngCore) -> usize {
-    let r: f32 = rng.gen();
-    let sum: f32 = probs.iter().sum();
-    if !sum.is_finite() || sum <= 1e-12 {
-        let mut best: Option<(usize, f32)> = None;
-        for (i, &p) in probs.iter().enumerate() {
-            if p.is_finite() && best.is_none_or(|(_, bp)| p > bp) {
-                best = Some((i, p));
+/// Validates the shared `forward_batch` preconditions and returns the batch
+/// size and per-episode sequence length.
+fn check_batch_args(
+    tape: &Tape,
+    xs: &[Var],
+    forced: Option<&[&[usize]]>,
+    rngs: &[&mut dyn rand::RngCore],
+) -> (usize, usize) {
+    let bsz = xs.len();
+    assert!(bsz > 0, "at least one episode");
+    let k = tape.value(xs[0]).rows();
+    for &x in xs {
+        assert_eq!(tape.value(x).rows(), k, "all episodes share the group count");
+    }
+    match forced {
+        Some(f) => {
+            assert_eq!(f.len(), bsz, "one forced action vector per episode");
+            for a in f {
+                assert_eq!(a.len(), k, "forced actions must cover every group");
             }
         }
-        return best.map_or(0, |(i, _)| i);
+        None => assert_eq!(rngs.len(), bsz, "one RNG stream per episode"),
     }
-    let mut acc = 0.0;
-    for (i, &p) in probs.iter().enumerate() {
-        acc += p;
-        if r < acc {
-            return i;
-        }
-    }
-    probs.len() - 1
+    (bsz, k)
 }
 
 /// Scores and entropy for one decode step; shared by both placers.
@@ -94,7 +111,7 @@ fn step_policy(
     let probs = tape.softmax(logits);
     let action = match forced {
         Some(a) => a,
-        None => sample_row(tape.value(probs).row(0), rng),
+        None => sample_categorical(tape.value(probs).row(0), rng),
     };
     let logp = tape.pick_per_row(log_probs, &[action]);
     let plogp = tape.mul_elem(probs, log_probs);
@@ -184,6 +201,59 @@ impl Seq2SeqPlacer {
         let alpha = tape.softmax(scores_row); // (1, k)
         tape.matmul(alpha, enc_outs) // (1, 2h)
     }
+
+    /// Batched Bahdanau context: one `(B, 2h)` context matrix for `B` decoder
+    /// states at once. `enc_outs`/`enc_proj` hold one entry per *distinct*
+    /// encoder pass and `ep_enc[b]` maps episode `b` to its entry.
+    ///
+    /// Row `b` is bit-identical to [`Seq2SeqPlacer::context`] for episode `b`:
+    /// the score matmul batches as extra rows (`(B·k, a) @ (a, 1)`), the
+    /// `(B, k)` score layout is data-identical to the per-episode `(1, k)`
+    /// transposes stacked, softmax is per-row, and the context matmul's inner
+    /// summation order over `k` is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn context_batch(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        enc_outs: &[Var],
+        enc_proj: &[Var],
+        ep_enc: &[usize],
+        dec_h: Var,
+        k: usize,
+    ) -> Var {
+        let bsz = ep_enc.len();
+        let dec_proj = self.attn_dec.forward(tape, params, dec_h); // (B, a)
+        let pres: Vec<Var> = (0..bsz)
+            .map(|b| {
+                let row = tape.slice_rows(dec_proj, b, 1);
+                tape.add_row_broadcast(enc_proj[ep_enc[b]], row) // (k, a)
+            })
+            .collect();
+        let pre = tape.concat_rows(&pres); // (B·k, a)
+        let act = tape.tanh(pre);
+        let v = tape.param(params, self.attn_v);
+        let scores = tape.matmul(act, v); // (B·k, 1)
+        let rows: Vec<Var> = (0..bsz)
+            .map(|b| {
+                let s = tape.slice_rows(scores, b * k, k);
+                tape.transpose(s) // (1, k)
+            })
+            .collect();
+        let score_mat = tape.concat_rows(&rows); // (B, k)
+        let alpha = tape.softmax(score_mat); // (B, k)
+        if enc_outs.len() == 1 {
+            tape.matmul(alpha, enc_outs[0]) // (B, 2h)
+        } else {
+            let ctxs: Vec<Var> = (0..bsz)
+                .map(|b| {
+                    let a_row = tape.slice_rows(alpha, b, 1);
+                    tape.matmul(a_row, enc_outs[ep_enc[b]]) // (1, 2h)
+                })
+                .collect();
+            tape.concat_rows(&ctxs)
+        }
+    }
 }
 
 impl Placer for Seq2SeqPlacer {
@@ -246,6 +316,136 @@ impl Placer for Seq2SeqPlacer {
         let ent_stack = tape.concat_rows(&ents);
         let entropy = tape.mean_all(ent_stack);
         PlacerOutput { actions, step_log_probs, log_prob, entropy }
+    }
+
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        xs: &[Var],
+        forced: Option<&[&[usize]]>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<PlacerOutput> {
+        let (bsz, k) = check_batch_args(tape, xs, forced, rngs);
+
+        // Episodes passing the same input Var share one encoder pass: map each
+        // episode to a distinct-input slot.
+        let mut uniq: Vec<Var> = Vec::new();
+        let mut ep_enc: Vec<usize> = Vec::with_capacity(bsz);
+        for &x in xs {
+            match uniq.iter().position(|&v| v == x) {
+                Some(j) => ep_enc.push(j),
+                None => {
+                    ep_enc.push(uniq.len());
+                    uniq.push(x);
+                }
+            }
+        }
+        let u = uniq.len();
+
+        // Input projection + attention keys run once per distinct input, as one
+        // stacked matmul when there are several.
+        let xs_h: Vec<Var> = if u == 1 {
+            vec![self.input_proj.forward(tape, params, uniq[0])]
+        } else {
+            let stacked = tape.concat_rows(&uniq);
+            let proj = self.input_proj.forward(tape, params, stacked); // (u·k, h)
+            (0..u).map(|j| tape.slice_rows(proj, j * k, k)).collect()
+        };
+        let enc_res: Vec<(Var, LstmState)> = if u == 1 {
+            let (outs, last) = self.encoder.forward(tape, params, xs_h[0]);
+            vec![(outs, last)]
+        } else {
+            self.encoder.forward_batch(tape, params, &xs_h)
+        };
+        let enc_outs: Vec<Var> = enc_res.iter().map(|(o, _)| *o).collect();
+        let enc_proj: Vec<Var> = if u == 1 {
+            vec![self.attn_enc.forward(tape, params, enc_outs[0])]
+        } else {
+            let stacked = tape.concat_rows(&enc_outs);
+            let proj = self.attn_enc.forward(tape, params, stacked); // (u·k, a)
+            (0..u).map(|j| tape.slice_rows(proj, j * k, k)).collect()
+        };
+
+        // Decoder state: episode b starts from its encoder's last forward state.
+        let h0 = if bsz == 1 {
+            enc_res[0].1.h
+        } else {
+            let rows: Vec<Var> = ep_enc.iter().map(|&e| enc_res[e].1.h).collect();
+            tape.concat_rows(&rows)
+        };
+        let mut state = LstmState { h: h0, c: tape.leaf(Tensor::zeros(bsz, self.hidden)) };
+        let dev_table = tape.param(params, self.dev_emb);
+        let mut prev: Vec<usize> = vec![self.n_devices; bsz]; // start token
+        let mut actions_ep: Vec<Vec<usize>> = vec![Vec::with_capacity(k); bsz];
+        let mut step_logps = Vec::with_capacity(k);
+        let mut step_ents = Vec::with_capacity(k);
+
+        for i in 0..k {
+            let x_i = if bsz == 1 {
+                tape.slice_rows(xs_h[0], i, 1)
+            } else if u == 1 {
+                tape.select_rows(xs_h[0], &vec![i; bsz]) // (B, h)
+            } else {
+                let rows: Vec<Var> =
+                    ep_enc.iter().map(|&e| tape.slice_rows(xs_h[e], i, 1)).collect();
+                tape.concat_rows(&rows)
+            };
+            let prev_emb = tape.select_rows(dev_table, &prev); // (B, e)
+            let logits = match self.mode {
+                AttentionMode::Before => {
+                    let ctx =
+                        self.context_batch(tape, params, &enc_outs, &enc_proj, &ep_enc, state.h, k);
+                    let inp = tape.concat_cols(&[x_i, ctx, prev_emb]);
+                    state = self.decoder.step(tape, params, inp, state);
+                    self.out.forward(tape, params, state.h)
+                }
+                AttentionMode::After => {
+                    let inp = tape.concat_cols(&[x_i, prev_emb]);
+                    state = self.decoder.step(tape, params, inp, state);
+                    let ctx =
+                        self.context_batch(tape, params, &enc_outs, &enc_proj, &ep_enc, state.h, k);
+                    let combined = tape.concat_cols(&[state.h, ctx]);
+                    self.out.forward(tape, params, combined)
+                }
+            }; // (B, nd)
+            let log_probs = tape.log_softmax(logits);
+            let probs = tape.softmax(logits);
+            let acts: Vec<usize> = match forced {
+                Some(f) => f.iter().map(|a| a[i]).collect(),
+                None => {
+                    let pv = tape.value(probs);
+                    (0..bsz).map(|b| sample_categorical(pv.row(b), &mut *rngs[b])).collect()
+                }
+            };
+            let logp = tape.pick_per_row(log_probs, &acts); // (B, 1)
+            let plogp = tape.mul_elem(probs, log_probs);
+            let rsum = tape.row_sums(plogp); // (B, 1)
+            let ent = tape.neg(rsum);
+            for (b, &a) in acts.iter().enumerate() {
+                actions_ep[b].push(a);
+            }
+            prev = acts;
+            step_logps.push(logp);
+            step_ents.push(ent);
+        }
+
+        // (B, k): column i holds step i, so row b is episode b's step sequence
+        // in the same order the per-episode path stacks them.
+        let logp_mat = tape.concat_cols(&step_logps);
+        let ent_mat = tape.concat_cols(&step_ents);
+        actions_ep
+            .into_iter()
+            .enumerate()
+            .map(|(b, actions)| {
+                let lp_row = tape.slice_rows(logp_mat, b, 1); // (1, k)
+                let log_prob = tape.sum_all(lp_row);
+                let step_log_probs = tape.transpose(lp_row); // (k, 1)
+                let ent_row = tape.slice_rows(ent_mat, b, 1);
+                let entropy = tape.mean_all(ent_row);
+                PlacerOutput { actions, step_log_probs, log_prob, entropy }
+            })
+            .collect()
     }
 }
 
@@ -318,7 +518,7 @@ impl Placer for GcnPlacer {
         let actions: Vec<usize> = (0..k)
             .map(|i| match forced {
                 Some(f) => f[i],
-                None => sample_row(tape.value(probs).row(i), rng),
+                None => sample_categorical(tape.value(probs).row(i), rng),
             })
             .collect();
         let step_log_probs = tape.pick_per_row(log_probs, &actions);
@@ -328,6 +528,94 @@ impl Placer for GcnPlacer {
         let scaled = tape.scale(total, -1.0 / k as f32);
         PlacerOutput { actions, step_log_probs, log_prob, entropy: scaled }
     }
+
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        xs: &[Var],
+        forced: Option<&[&[usize]]>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<PlacerOutput> {
+        let (bsz, k) = check_batch_args(tape, xs, forced, rngs);
+        assert_eq!(self.adj.rows(), k, "adjacency size must match group count");
+        let x = if bsz == 1 { xs[0] } else { tape.concat_rows(xs) }; // (B·k, d)
+                                                                     // Block-diagonal adjacency: matmul skips zero entries, so each block's
+                                                                     // inner summation is exactly the per-episode (k, k) product.
+        let a = tape.leaf(block_diag(&self.adj, bsz));
+        let xw = self.l1.forward(tape, params, x);
+        let ax = tape.matmul(a, xw);
+        let h1 = tape.relu(ax);
+        let hw = self.l2.forward(tape, params, h1);
+        let logits = tape.matmul(a, hw); // (B·k, nd)
+
+        let log_probs = tape.log_softmax(logits);
+        let probs = tape.softmax(logits);
+        let flat_actions = sample_flat(tape, probs, forced, rngs, bsz, k);
+        let picked = tape.pick_per_row(log_probs, &flat_actions); // (B·k, 1)
+        let plogp = tape.mul_elem(probs, log_probs);
+        (0..bsz)
+            .map(|b| {
+                let step_log_probs = tape.slice_rows(picked, b * k, k);
+                let log_prob = tape.sum_all(step_log_probs);
+                let ep_plogp = tape.slice_rows(plogp, b * k, k);
+                let total = tape.sum_all(ep_plogp);
+                let entropy = tape.scale(total, -1.0 / k as f32);
+                PlacerOutput {
+                    actions: flat_actions[b * k..(b + 1) * k].to_vec(),
+                    step_log_probs,
+                    log_prob,
+                    entropy,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Stacks `bsz` copies of `adj` on the diagonal of a `(bsz·k, bsz·k)` matrix.
+fn block_diag(adj: &Tensor, bsz: usize) -> Tensor {
+    if bsz == 1 {
+        return adj.clone();
+    }
+    let k = adj.rows();
+    let mut big = Tensor::zeros(bsz * k, bsz * k);
+    for b in 0..bsz {
+        for r in 0..k {
+            for c in 0..k {
+                let v = adj.get(r, c);
+                if v != 0.0 {
+                    big.set(b * k + r, b * k + c, v);
+                }
+            }
+        }
+    }
+    big
+}
+
+/// Episode-major action selection over a `(bsz·k, nd)` probability matrix:
+/// episode `b` owns rows `b·k..(b+1)·k` and draws from `rngs[b]` only, in row
+/// order — the same draw sequence a serial per-episode pass consumes.
+fn sample_flat(
+    tape: &Tape,
+    probs: Var,
+    forced: Option<&[&[usize]]>,
+    rngs: &mut [&mut dyn rand::RngCore],
+    bsz: usize,
+    k: usize,
+) -> Vec<usize> {
+    let mut flat = Vec::with_capacity(bsz * k);
+    for b in 0..bsz {
+        match forced {
+            Some(f) => flat.extend_from_slice(f[b]),
+            None => {
+                let pv = tape.value(probs);
+                for i in 0..k {
+                    flat.push(sample_categorical(pv.row(b * k + i), &mut *rngs[b]));
+                }
+            }
+        }
+    }
+    flat
 }
 
 /// Post's "simple neural network" placer: an MLP mapping each group embedding to an
@@ -379,7 +667,7 @@ impl Placer for SimplePlacer {
         let actions: Vec<usize> = (0..k)
             .map(|i| match forced {
                 Some(f) => f[i],
-                None => sample_row(tape.value(probs).row(i), rng),
+                None => sample_categorical(tape.value(probs).row(i), rng),
             })
             .collect();
         let step_log_probs = tape.pick_per_row(log_probs, &actions);
@@ -388,6 +676,39 @@ impl Placer for SimplePlacer {
         let total = tape.sum_all(plogp);
         let entropy = tape.scale(total, -1.0 / k as f32);
         PlacerOutput { actions, step_log_probs, log_prob, entropy }
+    }
+
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        xs: &[Var],
+        forced: Option<&[&[usize]]>,
+        rngs: &mut [&mut dyn rand::RngCore],
+    ) -> Vec<PlacerOutput> {
+        let (bsz, k) = check_batch_args(tape, xs, forced, rngs);
+        let x = if bsz == 1 { xs[0] } else { tape.concat_rows(xs) }; // (B·k, d)
+        let logits = self.net.forward(tape, params, x); // (B·k, nd)
+        let log_probs = tape.log_softmax(logits);
+        let probs = tape.softmax(logits);
+        let flat_actions = sample_flat(tape, probs, forced, rngs, bsz, k);
+        let picked = tape.pick_per_row(log_probs, &flat_actions); // (B·k, 1)
+        let plogp = tape.mul_elem(probs, log_probs);
+        (0..bsz)
+            .map(|b| {
+                let step_log_probs = tape.slice_rows(picked, b * k, k);
+                let log_prob = tape.sum_all(step_log_probs);
+                let ep_plogp = tape.slice_rows(plogp, b * k, k);
+                let total = tape.sum_all(ep_plogp);
+                let entropy = tape.scale(total, -1.0 / k as f32);
+                PlacerOutput {
+                    actions: flat_actions[b * k..(b + 1) * k].to_vec(),
+                    step_log_probs,
+                    log_prob,
+                    entropy,
+                }
+            })
+            .collect()
     }
 }
 
@@ -442,38 +763,138 @@ mod tests {
         (out.actions.clone(), tape.value(out.log_prob).item(), tape.value(out.entropy).item())
     }
 
-    #[test]
-    fn sample_row_degenerate_rows_fall_back_to_finite_argmax() {
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
-        // NaN poisons the sum: argmax over the finite entries wins.
-        assert_eq!(sample_row(&[f32::NAN, 0.2, 0.7], &mut rng), 2);
-        // Overflowed softmax (∞ entry): the ∞ is skipped, not "last device".
-        assert_eq!(sample_row(&[0.3, f32::INFINITY, 0.1], &mut rng), 0);
-        // Near-zero mass (all-underflowed row): first index on ties.
-        assert_eq!(sample_row(&[0.0, 0.0, 0.0], &mut rng), 0);
-        // Nothing finite at all: index 0, not a panic.
-        assert_eq!(sample_row(&[f32::NAN, f32::NAN], &mut rng), 0);
-        // Negative-underflow garbage still picks the largest finite entry.
-        assert_eq!(sample_row(&[-1.0, f32::NAN, -0.5], &mut rng), 2);
+    /// Runs `forward_batch` and asserts every episode matches a serial
+    /// per-episode `forward` replay bit-for-bit (actions, log-prob, entropy,
+    /// per-step log-probs).
+    fn assert_batch_matches_serial(
+        params: &Params,
+        placer: &impl Placer,
+        inputs: &[Tensor],
+        seed: u64,
+    ) {
+        let k = inputs[0].rows();
+        let mut tape = Tape::new();
+        let xvs: Vec<Var> = inputs.iter().map(|x| tape.leaf(x.clone())).collect();
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        let mut streams = eagle_rl::fork_streams(&mut master, k, inputs.len());
+        let mut refs: Vec<&mut dyn rand::RngCore> =
+            streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
+        let outs = placer.forward_batch(&mut tape, params, &xvs, None, &mut refs);
+        assert_eq!(outs.len(), inputs.len());
+
+        let mut serial_rng = ChaCha8Rng::seed_from_u64(seed);
+        for (x, out) in inputs.iter().zip(&outs) {
+            let mut ref_tape = Tape::new();
+            let xv = ref_tape.leaf(x.clone());
+            let ref_out = placer.forward(&mut ref_tape, params, xv, None, &mut serial_rng);
+            assert_eq!(out.actions, ref_out.actions, "sampled actions diverge");
+            assert_eq!(
+                tape.value(out.log_prob).item().to_bits(),
+                ref_tape.value(ref_out.log_prob).item().to_bits(),
+                "log-prob not bit-identical"
+            );
+            assert_eq!(
+                tape.value(out.entropy).item().to_bits(),
+                ref_tape.value(ref_out.entropy).item().to_bits(),
+                "entropy not bit-identical"
+            );
+            assert_eq!(
+                tape.value(out.step_log_probs).data(),
+                ref_tape.value(ref_out.step_log_probs).data(),
+                "per-step log-probs diverge"
+            );
+        }
     }
 
     #[test]
-    fn sample_row_healthy_rows_keep_their_rng_stream() {
-        // The degenerate guard must consume exactly one draw, like the healthy
-        // path: interleaving degenerate calls cannot shift healthy samples.
-        let mut a = ChaCha8Rng::seed_from_u64(9);
-        let mut b = ChaCha8Rng::seed_from_u64(9);
-        let healthy = [0.1f32, 0.7, 0.2];
-        let _ = sample_row(&healthy, &mut a);
-        let first_a = sample_row(&healthy, &mut a);
-        let _ = sample_row(&[f32::NAN, 1.0], &mut b);
-        let first_b = sample_row(&healthy, &mut b);
-        assert_eq!(first_a, first_b);
-        // And a healthy row samples by inverse-CDF: probability-1 mass on one
-        // index always returns it.
-        for _ in 0..16 {
-            assert_eq!(sample_row(&[0.0, 1.0, 0.0], &mut a), 1);
+    fn seq2seq_forward_batch_matches_serial_shared_input() {
+        for mode in [AttentionMode::Before, AttentionMode::After] {
+            let (params, placer) = setup(mode);
+            // All episodes share one input tensor (the EAGLE agent's shape).
+            let x = Tensor::full(6, 7, 0.3);
+            assert_batch_matches_serial(&params, &placer, &[x.clone(), x.clone(), x], 11);
         }
+    }
+
+    #[test]
+    fn seq2seq_forward_batch_matches_serial_distinct_inputs() {
+        let (params, placer) = setup(AttentionMode::Before);
+        // Distinct per-episode inputs (the HP agent's shape).
+        let inputs: Vec<Tensor> =
+            (0..3).map(|i| Tensor::full(6, 7, 0.1 * (i as f32 + 1.0))).collect();
+        assert_batch_matches_serial(&params, &placer, &inputs, 12);
+    }
+
+    #[test]
+    fn gcn_and_simple_forward_batch_match_serial() {
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let adj = Tensor::eye(4);
+        let gcn = GcnPlacer::new(&mut params, "g", 7, 10, 5, adj, &mut rng);
+        let simple = SimplePlacer::new(&mut params, "s", 7, 10, 5, &mut rng);
+        let inputs: Vec<Tensor> =
+            (0..4).map(|i| Tensor::full(4, 7, 0.2 * (i as f32 + 1.0))).collect();
+        assert_batch_matches_serial(&params, &gcn, &inputs, 21);
+        assert_batch_matches_serial(&params, &simple, &inputs, 22);
+    }
+
+    #[test]
+    fn forward_batch_teacher_forcing_matches_serial() {
+        let (params, placer) = setup(AttentionMode::Before);
+        let x = Tensor::full(5, 7, 0.1);
+        let forced: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3, 4], vec![4, 4, 4, 4, 4]];
+        let forced_refs: Vec<&[usize]> = forced.iter().map(|a| a.as_slice()).collect();
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let outs = placer.forward_batch(&mut tape, &params, &[xv, xv], Some(&forced_refs), &mut []);
+        for (a, out) in forced.iter().zip(&outs) {
+            let (actions, logp, ent) = run(&params, &placer, &x, Some(a), 7);
+            assert_eq!(&out.actions, a);
+            assert_eq!(actions, *a);
+            assert_eq!(tape.value(out.log_prob).item().to_bits(), logp.to_bits());
+            assert_eq!(tape.value(out.entropy).item().to_bits(), ent.to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_batch_gradients_match_serial_bitwise() {
+        let (params, placer) = setup(AttentionMode::Before);
+        let x = Tensor::full(4, 7, 0.2);
+        let forced: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]];
+        let forced_refs: Vec<&[usize]> = forced.iter().map(|a| a.as_slice()).collect();
+
+        // Batched: one shared tape, per-episode backward in episode order.
+        let mut batch_params = params.clone();
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let outs =
+            placer.forward_batch(&mut tape, &batch_params, &[xv, xv], Some(&forced_refs), &mut []);
+        for out in &outs {
+            let loss = tape.neg(out.log_prob);
+            tape.backward(loss, &mut batch_params);
+        }
+
+        // Serial reference: separate tape per episode.
+        let mut serial_params = params.clone();
+        for a in &forced {
+            let mut t = Tape::new();
+            let xv = t.leaf(x.clone());
+            let out = placer.forward(
+                &mut t,
+                &serial_params,
+                xv,
+                Some(a),
+                &mut ChaCha8Rng::seed_from_u64(0),
+            );
+            let loss = t.neg(out.log_prob);
+            t.backward(loss, &mut serial_params);
+        }
+
+        assert_eq!(
+            batch_params.grad_global_norm().to_bits(),
+            serial_params.grad_global_norm().to_bits(),
+            "accumulated gradients diverge between batched and serial scoring"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// This is the one-stop snapshot a trainer attaches to its result and curve
 /// (it subsumes the former `RolloutStats`): throughput, cache behavior and
 /// evaluation counts in a single value, instead of counters scattered across
-/// the environment (`num_evals`, `cache_stats`) and the curve.
+/// the environment and the curve.
 ///
 /// `episodes_per_sec` is real (host) time and thus machine-dependent; every
 /// other field is deterministic for a fixed seed and worker count.

@@ -96,20 +96,26 @@ impl Reinforce {
         let mut loss_total = 0.0f32;
         let mut ent_total = 0.0f32;
         let scale = 1.0 / batch.len() as f32;
-        for s in batch {
-            let mut h = policy.score(params, &s.actions);
+        // One batched scoring pass for the whole minibatch; each episode's loss
+        // is built and backpropagated on the shared tape in episode order, so
+        // gradients accumulate into the parameters exactly as per-episode
+        // tapes would.
+        let actions: Vec<Vec<usize>> = batch.iter().map(|s| s.actions.clone()).collect();
+        let mut h = policy.score_batch(params, &actions);
+        for (i, s) in batch.iter().enumerate() {
+            let ep = h.episodes[i];
             // loss = -(adv * logp + ent_coef * entropy), averaged over the batch.
-            let weighted = h.tape.scale(h.log_prob, s.advantage);
-            let ent_term = h.tape.scale(h.entropy, self.cfg.ent_coef);
+            let weighted = h.tape.scale(ep.log_prob, s.advantage);
+            let ent_term = h.tape.scale(ep.entropy, self.cfg.ent_coef);
             let gain = h.tape.add(weighted, ent_term);
             let neg = h.tape.neg(gain);
             let mut loss = h.tape.scale(neg, scale);
-            if let Some(aux) = h.aux_loss {
+            if let Some(aux) = ep.aux_loss {
                 let aux_scaled = h.tape.scale(aux, scale);
                 loss = h.tape.add(loss, aux_scaled);
             }
             loss_total += h.tape.value(loss).item();
-            ent_total += h.tape.value(h.entropy).item();
+            ent_total += h.tape.value(ep.entropy).item();
             h.tape.backward(loss, params);
         }
         let grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
@@ -170,28 +176,33 @@ impl Ppo {
         let _timer = self.recorder.span("rl.ppo.update_us");
         let mut stats = UpdateStats::default();
         let scale = 1.0 / batch.len() as f32;
+        let actions: Vec<Vec<usize>> = batch.iter().map(|s| s.actions.clone()).collect();
         for _ in 0..self.epochs {
             params.zero_grad();
             let mut loss_total = 0.0f32;
             let mut ent_total = 0.0f32;
-            for s in batch {
-                let mut h = policy.score(params, &s.actions);
-                let old = h.tape.add_scalar(h.log_prob, -s.old_log_prob);
+            // One batched scoring pass per epoch (the parameters change between
+            // epochs); per-episode losses and backward calls stay in episode
+            // order for gradient bit-identity with per-episode tapes.
+            let mut h = policy.score_batch(params, &actions);
+            for (i, s) in batch.iter().enumerate() {
+                let ep = h.episodes[i];
+                let old = h.tape.add_scalar(ep.log_prob, -s.old_log_prob);
                 let ratio = h.tape.exp(old);
                 let unclipped = h.tape.scale(ratio, s.advantage);
                 let clipped_ratio = h.tape.clamp(ratio, 1.0 - self.clip, 1.0 + self.clip);
                 let clipped = h.tape.scale(clipped_ratio, s.advantage);
                 let surr = h.tape.min_elem(unclipped, clipped);
-                let ent_term = h.tape.scale(h.entropy, self.cfg.ent_coef);
+                let ent_term = h.tape.scale(ep.entropy, self.cfg.ent_coef);
                 let gain = h.tape.add(surr, ent_term);
                 let neg = h.tape.neg(gain);
                 let mut loss = h.tape.scale(neg, scale);
-                if let Some(aux) = h.aux_loss {
+                if let Some(aux) = ep.aux_loss {
                     let aux_scaled = h.tape.scale(aux, scale);
                     loss = h.tape.add(loss, aux_scaled);
                 }
                 loss_total += h.tape.value(loss).item();
-                ent_total += h.tape.value(h.entropy).item();
+                ent_total += h.tape.value(ep.entropy).item();
                 h.tape.backward(loss, params);
             }
             stats.loss += loss_total;
@@ -257,11 +268,12 @@ impl CrossEntropyMin {
         for _ in 0..self.steps {
             params.zero_grad();
             let mut loss_total = 0.0f32;
-            for actions in elites {
-                let mut h = policy.score(params, actions);
-                let neg = h.tape.neg(h.log_prob);
+            let mut h = policy.score_batch(params, elites);
+            for i in 0..elites.len() {
+                let ep = h.episodes[i];
+                let neg = h.tape.neg(ep.log_prob);
                 let mut loss = h.tape.scale(neg, scale);
-                if let Some(aux) = h.aux_loss {
+                if let Some(aux) = ep.aux_loss {
                     let aux_scaled = h.tape.scale(aux, scale);
                     loss = h.tape.add(loss, aux_scaled);
                 }

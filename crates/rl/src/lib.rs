@@ -8,8 +8,12 @@
 //! Rewards follow the paper's Eq. 4: `R = -sqrt(per-step time)` with an
 //! exponential-moving-average baseline ([`EmaBaseline`]) instead of a critic.
 //!
-//! Agents plug in through the [`StochasticPolicy`] trait: sample a flat action
-//! vector, and re-score a given vector differentiably on a fresh tape.
+//! Agents plug in through the batched-first [`StochasticPolicy`] trait: sample a
+//! minibatch of flat action vectors in one forward pass ([`StochasticPolicy::
+//! sample_batch`]), and re-score a minibatch differentiably on one shared tape
+//! ([`StochasticPolicy::score_batch`]); per-episode `sample`/`score` are default
+//! wrappers over batch size 1. Batching is bit-identical to the per-episode path
+//! (see `policy` module docs).
 
 #![warn(missing_docs)]
 
@@ -20,5 +24,7 @@ mod reward;
 pub use algos::{
     top_k_indices, CrossEntropyMin, OptimConfig, Ppo, Reinforce, TrainSample, UpdateStats,
 };
-pub use policy::{ScoreHandle, StochasticPolicy};
+pub use policy::{
+    fork_streams, sample_categorical, BatchScoreHandle, EpisodeScore, ScoreHandle, StochasticPolicy,
+};
 pub use reward::{invalid_reward, reward_from_time, EmaBaseline, RewardTransform};

@@ -1,0 +1,268 @@
+//! The batched policy API's central contract: `sample_batch`, `score_batch`
+//! and `decode_batch` are *bit-identical* to the per-episode methods for every
+//! agent, batch size, and seed — actions, log-probabilities, entropies,
+//! auxiliary losses, decoded placements, and accumulated gradients all match
+//! exactly. On top of the per-call equivalence, a full training run through
+//! the batched trainer must stay byte-identical across worker counts and
+//! checkpoint resumes.
+
+use eagle::core::{
+    train, train_from, AgentScale, Algo, EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent,
+    PlacerKind, TrainerConfig, CHECKPOINT_FILE,
+};
+use eagle::devsim::{Environment, Machine, MeasureConfig};
+use eagle::opgraph::{builders, OpGraph};
+use eagle::rl::fork_streams;
+use eagle::tensor::Params;
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_graph() -> OpGraph {
+    builders::gnmt(&builders::GnmtConfig { batch: 2, hidden: 4, layers: 2, seq_len: 3, vocab: 20 })
+}
+
+/// Asserts the three batched methods reproduce the per-episode methods
+/// bit-for-bit for one agent at one batch size.
+fn assert_batched_matches_serial(
+    agent: &impl PlacementAgent,
+    params: &Params,
+    bsz: usize,
+    seed: u64,
+) {
+    // --- sample: a serial per-episode loop over one master RNG...
+    let mut serial_rng = ChaCha8Rng::seed_from_u64(seed);
+    let serial: Vec<(Vec<usize>, f32)> =
+        (0..bsz).map(|_| agent.sample(params, &mut serial_rng)).collect();
+
+    // ...versus one batched call over forked per-episode streams.
+    let mut master = ChaCha8Rng::seed_from_u64(seed);
+    let mut streams = fork_streams(&mut master, agent.rng_draws_per_sample(), bsz);
+    let mut refs: Vec<&mut dyn RngCore> =
+        streams.iter_mut().map(|r| r as &mut dyn RngCore).collect();
+    let batched = agent.sample_batch(params, &mut refs);
+
+    assert_eq!(batched.len(), bsz);
+    for (b, ((sa, slp), (ba, blp))) in serial.iter().zip(&batched).enumerate() {
+        assert_eq!(sa, ba, "episode {b}: actions diverge");
+        assert_eq!(slp.to_bits(), blp.to_bits(), "episode {b}: log-prob diverges");
+    }
+    // The master RNG must end where the serial loop left its RNG, so
+    // checkpointed RNG accounting is oblivious to batching.
+    assert_eq!(master.next_u32(), serial_rng.next_u32(), "master RNG position diverges");
+
+    // --- decode
+    let actions: Vec<Vec<usize>> = batched.into_iter().map(|(a, _)| a).collect();
+    let placements = agent.decode_batch(params, &actions);
+    assert_eq!(placements.len(), bsz);
+    for (a, p) in actions.iter().zip(&placements) {
+        assert_eq!(agent.decode(params, a), *p, "decode_batch diverges from decode");
+    }
+
+    // --- score: per-episode heads on the shared tape...
+    let mut h = agent.score_batch(params, &actions);
+    assert_eq!(h.episodes.len(), bsz);
+    for (a, ep) in actions.iter().zip(h.episodes.clone()) {
+        let ref_h = agent.score(params, a);
+        assert_eq!(
+            h.tape.value(ep.log_prob).item().to_bits(),
+            ref_h.tape.value(ref_h.log_prob).item().to_bits(),
+            "scored log-prob diverges"
+        );
+        assert_eq!(
+            h.tape.value(ep.entropy).item().to_bits(),
+            ref_h.tape.value(ref_h.entropy).item().to_bits(),
+            "scored entropy diverges"
+        );
+        match (ep.aux_loss, ref_h.aux_loss) {
+            (Some(b), Some(s)) => assert_eq!(
+                h.tape.value(b).item().to_bits(),
+                ref_h.tape.value(s).item().to_bits(),
+                "aux loss diverges"
+            ),
+            (None, None) => {}
+            _ => panic!("aux_loss presence differs between batch and serial"),
+        }
+    }
+
+    // --- gradients: per-episode backward on the shared tape, in episode
+    // order, must deposit exactly what separate per-episode tapes deposit.
+    let mut batch_params = params.clone();
+    for ep in h.episodes.clone() {
+        let neg = h.tape.neg(ep.log_prob);
+        let loss = match ep.aux_loss {
+            Some(aux) => h.tape.add(neg, aux),
+            None => neg,
+        };
+        h.tape.backward(loss, &mut batch_params);
+    }
+    let mut serial_params = params.clone();
+    for a in &actions {
+        let mut sh = agent.score(&serial_params, a);
+        let neg = sh.tape.neg(sh.log_prob);
+        let loss = match sh.aux_loss {
+            Some(aux) => sh.tape.add(neg, aux),
+            None => neg,
+        };
+        sh.tape.backward(loss, &mut serial_params);
+    }
+    for id in batch_params.ids() {
+        let bg = batch_params.grad(id);
+        let sg = serial_params.grad(id);
+        for (i, (x, y)) in bg.data().iter().zip(sg.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "gradient of '{}' entry {i} diverges",
+                batch_params.name(id)
+            );
+        }
+    }
+}
+
+fn eagle_agent(seed: u64) -> (Params, EagleAgent) {
+    let g = tiny_graph();
+    let m = Machine::paper_machine();
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+    (params, agent)
+}
+
+fn hp_agent(seed: u64) -> (Params, HpAgent) {
+    let g = tiny_graph();
+    let m = Machine::paper_machine();
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let agent = HpAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+    (params, agent)
+}
+
+fn fixed_agent(seed: u64, kind: PlacerKind) -> (Params, FixedGroupAgent) {
+    let g = tiny_graph();
+    let m = Machine::paper_machine();
+    let k = 5;
+    let group_of: Vec<usize> = (0..g.len()).map(|i| i * k / g.len()).collect();
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let agent = FixedGroupAgent::new(
+        &mut params,
+        "fg",
+        &g,
+        &m,
+        group_of,
+        k,
+        kind,
+        AgentScale::tiny(),
+        &mut rng,
+    );
+    (params, agent)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn eagle_batched_equals_serial(seed in 0u64..1_000, bidx in 0usize..3) {
+        let bsz = [1usize, 3, 8][bidx];
+        let (params, agent) = eagle_agent(seed.wrapping_mul(31) + 1);
+        assert_batched_matches_serial(&agent, &params, bsz, seed);
+    }
+
+    #[test]
+    fn hp_batched_equals_serial(seed in 0u64..1_000, bidx in 0usize..3) {
+        let bsz = [1usize, 3, 8][bidx];
+        let (params, agent) = hp_agent(seed.wrapping_mul(17) + 2);
+        assert_batched_matches_serial(&agent, &params, bsz, seed);
+    }
+
+    #[test]
+    fn fixed_group_batched_equals_serial(seed in 0u64..1_000, bidx in 0usize..3) {
+        // Rotate through all four placer kinds so every placer's batched path
+        // is exercised behind the agent API.
+        let bsz = [1usize, 3, 8][bidx];
+        let kind = [PlacerKind::Seq2SeqBefore, PlacerKind::Seq2SeqAfter, PlacerKind::Gcn, PlacerKind::Simple]
+            [(seed % 4) as usize];
+        let (params, agent) = fixed_agent(seed.wrapping_mul(13) + 3, kind);
+        assert_batched_matches_serial(&agent, &params, bsz, seed);
+    }
+}
+
+fn train_hp(workers: usize) -> eagle::core::TrainResult {
+    let g = tiny_graph();
+    let m = Machine::paper_machine();
+    let mut env = Environment::builder(g.clone(), m.clone())
+        .measure(MeasureConfig::default())
+        .seed(11)
+        .build()
+        .expect("valid environment");
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let agent = HpAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+    let mut cfg = TrainerConfig::paper(Algo::PpoCe, 40);
+    cfg.ce_interval = 20;
+    cfg.workers = workers;
+    train(&agent, &mut params, &mut env, &cfg)
+}
+
+#[test]
+fn batched_training_curve_identical_across_worker_counts() {
+    let serial = train_hp(1);
+    let auto = train_hp(0);
+    assert_eq!(serial.curve.points, auto.curve.points);
+    assert_eq!(serial.best_placement, auto.best_placement);
+    assert_eq!(serial.final_step_time, auto.final_step_time);
+    assert_eq!(serial.num_invalid, auto.num_invalid);
+}
+
+#[test]
+fn batched_training_resumes_bit_identically() {
+    // A run killed mid-way and resumed must replay the exact same curve the
+    // uninterrupted run produces — the batched sampler's RNG accounting feeds
+    // straight into the checkpointed trainer RNG.
+    let g = tiny_graph();
+    let m = Machine::paper_machine();
+    let build_env = || {
+        Environment::builder(g.clone(), m.clone())
+            .measure(MeasureConfig::default())
+            .seed(23)
+            .build()
+            .expect("valid environment")
+    };
+    let build_agent = |params: &mut Params| {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        EagleAgent::new(params, &g, &m, AgentScale::tiny(), &mut rng)
+    };
+
+    let dir = std::env::temp_dir().join("eagle-batched-policy-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Uninterrupted reference: 60 samples.
+    let mut cfg = TrainerConfig::paper(Algo::Ppo, 60);
+    let mut full_params = Params::new();
+    let full_agent = build_agent(&mut full_params);
+    let mut full_env = build_env();
+    let full = train(&full_agent, &mut full_params, &mut full_env, &cfg);
+
+    // Interrupted: stop after 30 (checkpointing every minibatch), resume to 60.
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.checkpoint_every = Some(1);
+    cfg.total_samples = 30;
+    let mut part_params = Params::new();
+    let part_agent = build_agent(&mut part_params);
+    let mut part_env = build_env();
+    train(&part_agent, &mut part_params, &mut part_env, &cfg);
+
+    let state = eagle::core::load_checkpoint(dir.join(CHECKPOINT_FILE)).unwrap();
+    cfg.total_samples = 60;
+    let mut resumed_params = Params::new();
+    let resumed_agent = build_agent(&mut resumed_params);
+    let mut resumed_env = build_env();
+    let resumed = train_from(&resumed_agent, &mut resumed_params, &mut resumed_env, &cfg, state)
+        .expect("resume succeeds");
+
+    assert_eq!(full.curve.points, resumed.curve.points);
+    assert_eq!(full.best_placement, resumed.best_placement);
+    assert_eq!(full.final_step_time, resumed.final_step_time);
+    std::fs::remove_dir_all(&dir).ok();
+}
