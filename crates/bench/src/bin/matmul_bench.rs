@@ -1,0 +1,205 @@
+//! Matmul kernel microbenchmark: the naive `ikj` kernel versus the
+//! cache-blocked packed-B kernel, serial and through the threaded dispatch,
+//! across a sweep of square and workload-shaped products.
+//!
+//! Emits `BENCH_matmul.json` with per-shape wall-clock, GFLOP/s, and speedup
+//! ratios, plus a `threshold` section that justifies `PAR_MATMUL_THRESHOLD`:
+//! the crossbeam spawn overhead is estimated from the dispatch-vs-serial delta
+//! on above-threshold shapes, and the crossover is where that overhead equals
+//! the serial kernel's time for the product (below it, sharding cannot win
+//! even with free extra cores). Both kernels are checked bitwise-identical on
+//! every shape before timing — the blocked kernel is a pure reassociation-free
+//! rewrite, so this holds exactly.
+//!
+//! `--workers N` sets the thread count the dispatch columns run with (the
+//! serial columns always pin one worker); on a single-core host the dispatch
+//! column measures pure spawn overhead, which is exactly the quantity the
+//! threshold guards against.
+
+use eagle_bench::Cli;
+use eagle_tensor::{Tensor, PAR_MATMUL_THRESHOLD};
+use serde_json::Value;
+
+/// `(m, k, n)` products to sweep: squares bracketing the parallel threshold
+/// plus the skinny shapes the policy networks actually issue (minibatch-tall
+/// activations against small square weights, and the GCN's op-count-tall
+/// feature matrices).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (16, 16, 16),
+    (32, 32, 32),
+    (64, 64, 64),
+    (96, 96, 96),
+    (128, 128, 128),
+    (192, 192, 192),
+    (256, 256, 256),
+    (16, 64, 64),
+    (256, 64, 64),
+    (1024, 64, 64),
+    (64, 1024, 8),
+];
+
+/// Total multiply-adds to spend per timed column, so small shapes get many
+/// repetitions and large ones few, at roughly constant wall-clock per cell.
+const TARGET_MADDS: usize = 1 << 27;
+
+/// Deterministic pseudo-random matrix; every 11th entry is exactly zero so
+/// the naive kernel's zero-skip path stays exercised.
+fn fill(rows: usize, cols: usize, salt: u64) -> Tensor {
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let data = (0..rows * cols)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if i % 11 == 3 {
+                0.0
+            } else {
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Mean seconds per call over `iters` timed repetitions (after one warm-up).
+fn bench(iters: usize, mut f: impl FnMut() -> Tensor) -> f64 {
+    let mut out = f();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        out = f();
+    }
+    let per_call = start.elapsed().as_secs_f64() / iters as f64;
+    std::hint::black_box(&out);
+    per_call
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dispatch_workers = cli.workers.unwrap_or_else(eagle_obs::available_workers).max(1);
+
+    println!(
+        "matmul kernels: naive ikj vs cache-blocked packed-B, dispatch at {dispatch_workers} worker(s), threshold {PAR_MATMUL_THRESHOLD} madds"
+    );
+
+    let mut shapes_out: Vec<Value> = Vec::new();
+    // (madds, dispatch_sec - blocked_sec) for above-threshold shapes: the
+    // spawn overhead the threshold exists to amortize.
+    let mut spawn_deltas: Vec<f64> = Vec::new();
+    for &(m, k, n) in SHAPES {
+        let a = fill(m, k, 1 + m as u64);
+        let b = fill(k, n, 2 + n as u64);
+        let madds = m * n * k;
+        let iters = (TARGET_MADDS / madds.max(1)).clamp(3, 2000);
+
+        // Bitwise contract first: one ascending-k accumulation per output
+        // element, whichever kernel streams it.
+        let naive = a.matmul_naive(&b);
+        let blocked = {
+            eagle_obs::set_available_workers(1);
+            a.matmul(&b)
+        };
+        for (i, (x, y)) in naive.data().iter().zip(blocked.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{m}x{k}@{k}x{n}: kernels disagree at element {i}"
+            );
+        }
+
+        eagle_obs::set_available_workers(1);
+        let naive_sec = bench(iters, || a.matmul_naive(&b));
+        let blocked_sec = bench(iters, || a.matmul(&b));
+        eagle_obs::set_available_workers(dispatch_workers);
+        let dispatch_sec = bench(iters, || a.matmul(&b));
+        let parallel_path = dispatch_workers.min(m) > 1 && madds >= PAR_MATMUL_THRESHOLD && m >= 2;
+        if parallel_path {
+            spawn_deltas.push(dispatch_sec - blocked_sec);
+        }
+
+        let gflops = |sec: f64| 2.0 * madds as f64 / sec / 1e9;
+        let blocked_speedup = naive_sec / blocked_sec;
+        println!(
+            "  {m:>5}x{k:<5}@{k:>5}x{n:<5} naive {:>8.2} GF/s  blocked {:>8.2} GF/s ({blocked_speedup:>5.2}x)  dispatch {:>8.2} GF/s{}",
+            gflops(naive_sec),
+            gflops(blocked_sec),
+            gflops(dispatch_sec),
+            if parallel_path { "  [threaded]" } else { "" },
+        );
+        shapes_out.push(obj(vec![
+            ("m", Value::U64(m as u64)),
+            ("k", Value::U64(k as u64)),
+            ("n", Value::U64(n as u64)),
+            ("madds", Value::U64(madds as u64)),
+            ("iters", Value::U64(iters as u64)),
+            ("naive_sec", Value::from(naive_sec)),
+            ("blocked_sec", Value::from(blocked_sec)),
+            ("dispatch_sec", Value::from(dispatch_sec)),
+            ("gflops_naive", Value::from(gflops(naive_sec))),
+            ("gflops_blocked", Value::from(gflops(blocked_sec))),
+            ("gflops_dispatch", Value::from(gflops(dispatch_sec))),
+            ("blocked_speedup_vs_naive", Value::from(blocked_speedup)),
+            ("parallel_path", Value::Bool(parallel_path)),
+            ("bitwise_identical", Value::Bool(true)),
+        ]));
+    }
+
+    // Threshold justification: sharding only pays once the serial kernel's
+    // time for the product exceeds the spawn overhead (and then only with
+    // genuinely spare cores). Estimate the serial rate from the largest
+    // square shape and the spawn cost from the measured dispatch deltas.
+    let spawn_overhead_sec = if spawn_deltas.is_empty() {
+        None
+    } else {
+        Some(spawn_deltas.iter().sum::<f64>() / spawn_deltas.len() as f64)
+    };
+    let serial_rate = shapes_out
+        .iter()
+        .filter(|s| s["m"] == s["n"] && s["n"] == s["k"])
+        .map(|s| s["madds"].as_f64().unwrap() / s["blocked_sec"].as_f64().unwrap())
+        .fold(0.0f64, f64::max);
+    let est_crossover = spawn_overhead_sec.map(|o| o * serial_rate);
+    if let Some(cross) = est_crossover {
+        println!(
+            "  spawn overhead ~{:.1}us -> crossover ~{:.2}M madds (threshold {:.2}M)",
+            1e6 * spawn_overhead_sec.unwrap(),
+            cross / 1e6,
+            PAR_MATMUL_THRESHOLD as f64 / 1e6,
+        );
+    } else {
+        println!(
+            "  no shape took the threaded path at {dispatch_workers} worker(s); threshold {:.2}M madds unexercised",
+            PAR_MATMUL_THRESHOLD as f64 / 1e6,
+        );
+    }
+
+    let doc = obj(vec![
+        ("bench", Value::from("matmul")),
+        ("seed", Value::U64(cli.seed)),
+        ("dispatch_workers", Value::U64(dispatch_workers as u64)),
+        ("shapes", Value::Array(shapes_out)),
+        (
+            "threshold",
+            obj(vec![
+                ("par_matmul_threshold_madds", Value::U64(PAR_MATMUL_THRESHOLD as u64)),
+                (
+                    "spawn_overhead_sec_estimate",
+                    spawn_overhead_sec.map_or(Value::Null, Value::from),
+                ),
+                ("serial_blocked_madds_per_sec", Value::from(serial_rate)),
+                ("est_crossover_madds", est_crossover.map_or(Value::Null, Value::from)),
+                (
+                    "note",
+                    Value::from(
+                        "crossover = spawn_overhead * serial rate: below it a crossbeam scope \
+                         spend longer spawning than the serial blocked kernel needs for the \
+                         whole product, so sharding cannot win regardless of core count",
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    cli.write_artifact("BENCH_matmul.json", &serde_json::to_string(&doc).expect("serialize"));
+    cli.finish_metrics("matmul");
+}

@@ -14,9 +14,11 @@
 //! Every binary accepts `--scale tiny|quick|paper` (default `quick`), `--samples N`
 //! overrides per-model sample budgets, `--seed S`, `--out DIR` for CSV exports, and
 //! `--metrics PATH` to stream structured telemetry (spans, counters, histograms) to
-//! a JSONL file and print an end-of-run summary table. `rollout_throughput` also
-//! accepts `--baseline PATH` to gate its speedup ratios against a committed
-//! baseline artifact (exit non-zero on a >25% regression).
+//! a JSONL file and print an end-of-run summary table. `--workers N` pins the
+//! auto-detected worker-pool size so perf runs reproduce across differently
+//! sized CI hosts. `rollout_throughput` also accepts `--baseline PATH` to gate
+//! its speedup ratios against a committed baseline artifact (exit non-zero on
+//! a >25% regression).
 //! Criterion micro-benchmarks live under `benches/`.
 
 #![warn(missing_docs)]
@@ -62,6 +64,10 @@ pub struct Cli {
     /// support it compare their machine-robust ratios (speedups, not absolute
     /// wall-clock) against this file and exit non-zero on a >25% regression.
     pub baseline: Option<std::path::PathBuf>,
+    /// Worker-pool override (`--workers N`): pins the auto-detected core count
+    /// every `workers = 0` consumer resolves to, so perf runs are reproducible
+    /// across differently-sized CI hosts. `None` keeps auto-detection.
+    pub workers: Option<usize>,
     /// The run's telemetry recorder: enabled iff `--metrics` was passed,
     /// otherwise a free no-op.
     pub recorder: Recorder,
@@ -80,6 +86,7 @@ impl Cli {
         let mut checkpoint_every = 10usize;
         let mut resume = false;
         let mut baseline: Option<std::path::PathBuf> = None;
+        let mut workers: Option<usize> = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -125,9 +132,15 @@ impl Cli {
                     i += 1;
                     baseline = Some(args.get(i).expect("--baseline needs a value").into());
                 }
+                "--workers" => {
+                    i += 1;
+                    workers = Some(
+                        args.get(i).expect("--workers needs a value").parse().expect("number"),
+                    );
+                }
                 other => {
                     eprintln!(
-                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--baseline PATH]"
+                        "unknown flag {other}; usage: [--scale tiny|quick|paper] [--samples N] [--seed S] [--out DIR] [--curves] [--metrics PATH] [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--baseline PATH] [--workers N]"
                     );
                     std::process::exit(2);
                 }
@@ -139,6 +152,13 @@ impl Cli {
         if resume && checkpoint_dir.is_none() {
             eprintln!("--resume requires --checkpoint-dir DIR");
             std::process::exit(2);
+        }
+        if let Some(n) = workers {
+            if n == 0 {
+                eprintln!("--workers needs a value >= 1 (omit the flag for auto-detection)");
+                std::process::exit(2);
+            }
+            eagle_obs::set_available_workers(n);
         }
         let recorder = if metrics.is_some() { Recorder::new() } else { Recorder::disabled() };
         Self {
@@ -153,6 +173,7 @@ impl Cli {
             checkpoint_every,
             resume,
             baseline,
+            workers,
             recorder,
         }
     }

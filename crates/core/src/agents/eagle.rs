@@ -79,8 +79,7 @@ impl EagleAgent {
             let mut tape = Tape::new();
             let f = tape.leaf(self.features.clone());
             let logits = self.grouper.logits(&mut tape, params, f);
-            let ls = tape.log_softmax(logits);
-            let picked = tape.pick_per_row(ls, &target);
+            let picked = tape.log_softmax_pick(logits, &target);
             let neg = tape.neg(picked);
             let loss = tape.mean_all(neg);
             tape.backward(loss, params);

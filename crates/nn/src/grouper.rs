@@ -144,8 +144,7 @@ mod tests {
             let mut tape = Tape::new();
             let fv = tape.leaf(f.clone());
             let logits = grouper.logits(&mut tape, &params, fv);
-            let ls = tape.log_softmax(logits);
-            let picked = tape.pick_per_row(ls, &targets);
+            let picked = tape.log_softmax_pick(logits, &targets);
             let neg = tape.neg(picked);
             let loss = tape.mean_all(neg);
             tape.backward(loss, &mut params);

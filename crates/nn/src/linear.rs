@@ -1,6 +1,6 @@
 //! Affine layers and small multi-layer perceptrons.
 
-use eagle_tensor::{init, ParamId, Params, Tape, Var};
+use eagle_tensor::{init, FusedAct, ParamId, Params, Tape, Var};
 use rand::Rng;
 
 /// Supported activations for [`FeedForward`].
@@ -41,10 +41,16 @@ impl Linear {
 
     /// Applies the layer to `x: (n, in_dim)`, returning `(n, out_dim)`.
     pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
+        self.forward_fused(tape, params, x, FusedAct::None)
+    }
+
+    /// Applies the layer with an activation fused into the same tape node
+    /// (bitwise-equal to layer-then-activation, but one node and no
+    /// intermediate tensors).
+    pub fn forward_fused(&self, tape: &mut Tape, params: &Params, x: Var, act: FusedAct) -> Var {
         let w = tape.param(params, self.w);
         let b = tape.param(params, self.b);
-        let xw = tape.matmul(x, w);
-        tape.add_row_broadcast(xw, b)
+        tape.affine(x, w, b, act)
     }
 }
 
@@ -85,19 +91,22 @@ impl FeedForward {
         self.layers.last().expect("non-empty").out_dim
     }
 
-    /// Applies the MLP to `x: (n, in_dim)`.
+    /// Applies the MLP to `x: (n, in_dim)`. Hidden layers run as fused
+    /// affine+activation nodes; the last layer stays affine-only.
     pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, params, h);
-            if i < last {
-                h = match self.activation {
-                    Activation::Relu => tape.relu(h),
-                    Activation::Tanh => tape.tanh(h),
-                    Activation::Identity => h,
-                };
-            }
+            let act = if i < last {
+                match self.activation {
+                    Activation::Relu => FusedAct::Relu,
+                    Activation::Tanh => FusedAct::Tanh,
+                    Activation::Identity => FusedAct::None,
+                }
+            } else {
+                FusedAct::None
+            };
+            h = layer.forward_fused(tape, params, h, act);
         }
         h
     }

@@ -540,8 +540,11 @@ impl Placer for GcnPlacer {
         let (bsz, k) = check_batch_args(tape, xs, forced, rngs);
         assert_eq!(self.adj.rows(), k, "adjacency size must match group count");
         let x = if bsz == 1 { xs[0] } else { tape.concat_rows(xs) }; // (B·k, d)
-                                                                     // Block-diagonal adjacency: matmul skips zero entries, so each block's
-                                                                     // inner summation is exactly the per-episode (k, k) product.
+                                                                     // Block-diagonal adjacency: the off-block entries are exact zeros, and
+                                                                     // adding a `±0.0` product to a (never `-0.0`) matmul accumulator is a
+                                                                     // bitwise no-op, so each block's inner summation lands on exactly the
+                                                                     // per-episode (k, k) product whether the kernel skips zeros (naive) or
+                                                                     // streams them (blocked).
         let a = tape.leaf(block_diag(&self.adj, bsz));
         let xw = self.l1.forward(tape, params, x);
         let ax = tape.matmul(a, xw);

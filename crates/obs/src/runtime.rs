@@ -1,13 +1,34 @@
 //! Host-runtime helpers shared across the workspace.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// Worker threads available on this host, queried once per process. Every
-/// consumer (the rollout engine, sharded matmuls) sizes its thread pools off
-/// this single cached value.
+/// Per-process override installed by [`set_available_workers`]; 0 = no override.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads available on this host. Every consumer (the rollout engine,
+/// sharded matmuls) sizes its thread pools off this single value.
+///
+/// The host parallelism is queried from the OS once per process, but an
+/// explicit [`set_available_workers`] override takes precedence *even after
+/// the first query* — previously the value was latched in a `OnceLock` at the
+/// first matmul, so a bench could not pin its thread count once anything had
+/// touched the tensor path. Perf-smoke runs on shared CI hosts pin this to 1
+/// via the bench `--workers` flag for reproducible timings.
 pub fn available_workers() -> usize {
+    let over = WORKER_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Overrides the worker count [`available_workers`] reports for the rest of
+/// the process (0 restores OS detection). Benches use this to make timings
+/// reproducible on shared hosts whose visible core count varies.
+pub fn set_available_workers(n: usize) {
+    WORKER_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Resolves a requested worker count: 0 means one per available core.
@@ -28,5 +49,15 @@ mod tests {
         assert!(available_workers() >= 1);
         assert_eq!(resolve_workers(0), available_workers());
         assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn override_wins_even_after_first_query() {
+        let detected = available_workers(); // latches the OnceLock
+        set_available_workers(detected + 7);
+        assert_eq!(available_workers(), detected + 7);
+        assert_eq!(resolve_workers(0), detected + 7);
+        set_available_workers(0); // restore OS detection for other tests
+        assert_eq!(available_workers(), detected);
     }
 }

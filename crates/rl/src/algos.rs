@@ -3,7 +3,7 @@
 //! (Post's algorithm).
 
 use eagle_obs::Recorder;
-use eagle_tensor::{optim::Adam, Params};
+use eagle_tensor::{optim::Adam, Grads, Params};
 
 use crate::policy::StochasticPolicy;
 
@@ -56,6 +56,8 @@ impl Default for OptimConfig {
 pub struct Reinforce {
     cfg: OptimConfig,
     opt: Adam,
+    /// Reusable gradient buffers, allocated on the first update.
+    grads: Option<Grads>,
     recorder: Recorder,
 }
 
@@ -63,7 +65,7 @@ impl Reinforce {
     /// Creates the trainer with its own Adam state.
     pub fn new(cfg: OptimConfig) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { cfg, opt, recorder: Recorder::disabled() }
+        Self { cfg, opt, grads: None, recorder: Recorder::disabled() }
     }
 
     /// Installs a telemetry recorder (update latency, grad-norm, entropy).
@@ -92,16 +94,16 @@ impl Reinforce {
     ) -> UpdateStats {
         assert!(!batch.is_empty(), "empty training batch");
         let _timer = self.recorder.span("rl.reinforce.update_us");
-        params.zero_grad();
-        let mut loss_total = 0.0f32;
         let mut ent_total = 0.0f32;
         let scale = 1.0 / batch.len() as f32;
-        // One batched scoring pass for the whole minibatch; each episode's loss
-        // is built and backpropagated on the shared tape in episode order, so
-        // gradients accumulate into the parameters exactly as per-episode
-        // tapes would.
+        // One batched scoring pass for the whole minibatch. Per-episode losses
+        // are folded into a single scalar with `add_n`, so the whole batch
+        // backpropagates in ONE tape traversal: shared forward nodes (the
+        // grouper/encoder stack every episode reads) are visited once instead
+        // of once per episode.
         let actions: Vec<Vec<usize>> = batch.iter().map(|s| s.actions.clone()).collect();
         let mut h = policy.score_batch(params, &actions);
+        let mut ep_losses = Vec::with_capacity(batch.len());
         for (i, s) in batch.iter().enumerate() {
             let ep = h.episodes[i];
             // loss = -(adv * logp + ent_coef * entropy), averaged over the batch.
@@ -114,12 +116,16 @@ impl Reinforce {
                 let aux_scaled = h.tape.scale(aux, scale);
                 loss = h.tape.add(loss, aux_scaled);
             }
-            loss_total += h.tape.value(loss).item();
             ent_total += h.tape.value(ep.entropy).item();
-            h.tape.backward(loss, params);
+            ep_losses.push(loss);
         }
-        let grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
-        self.opt.step(params);
+        let total = h.tape.add_n(&ep_losses);
+        let loss_total = h.tape.value(total).item();
+        let grads = self.grads.get_or_insert_with(|| Grads::for_params(params));
+        grads.zero();
+        h.tape.backward_into(total, grads);
+        let grad_norm = grads.clip_global_norm(self.cfg.grad_clip);
+        self.opt.step_grads(params, grads);
         let stats = UpdateStats { loss: loss_total, entropy: ent_total * scale, grad_norm };
         record_update(&self.recorder, &stats);
         stats
@@ -135,6 +141,8 @@ pub struct Ppo {
     /// Gradient steps per collected batch (paper: 4).
     pub epochs: usize,
     opt: Adam,
+    /// Reusable gradient buffers, allocated on the first update.
+    grads: Option<Grads>,
     recorder: Recorder,
 }
 
@@ -142,7 +150,7 @@ impl Ppo {
     /// Creates the trainer (paper defaults: clip 0.3, 4 epochs).
     pub fn new(cfg: OptimConfig, clip: f32, epochs: usize) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { cfg, clip, epochs, opt, recorder: Recorder::disabled() }
+        Self { cfg, clip, epochs, opt, grads: None, recorder: Recorder::disabled() }
     }
 
     /// Installs a telemetry recorder (update latency, grad-norm, entropy).
@@ -178,13 +186,12 @@ impl Ppo {
         let scale = 1.0 / batch.len() as f32;
         let actions: Vec<Vec<usize>> = batch.iter().map(|s| s.actions.clone()).collect();
         for _ in 0..self.epochs {
-            params.zero_grad();
-            let mut loss_total = 0.0f32;
             let mut ent_total = 0.0f32;
             // One batched scoring pass per epoch (the parameters change between
-            // epochs); per-episode losses and backward calls stay in episode
-            // order for gradient bit-identity with per-episode tapes.
+            // epochs); per-episode losses fold into one scalar so each epoch
+            // backpropagates in a single tape traversal.
             let mut h = policy.score_batch(params, &actions);
+            let mut ep_losses = Vec::with_capacity(batch.len());
             for (i, s) in batch.iter().enumerate() {
                 let ep = h.episodes[i];
                 let old = h.tape.add_scalar(ep.log_prob, -s.old_log_prob);
@@ -201,14 +208,17 @@ impl Ppo {
                     let aux_scaled = h.tape.scale(aux, scale);
                     loss = h.tape.add(loss, aux_scaled);
                 }
-                loss_total += h.tape.value(loss).item();
                 ent_total += h.tape.value(ep.entropy).item();
-                h.tape.backward(loss, params);
+                ep_losses.push(loss);
             }
-            stats.loss += loss_total;
+            let total = h.tape.add_n(&ep_losses);
+            let grads = self.grads.get_or_insert_with(|| Grads::for_params(params));
+            grads.zero();
+            h.tape.backward_into(total, grads);
+            stats.loss += h.tape.value(total).item();
             stats.entropy += ent_total * scale;
-            stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
-            self.opt.step(params);
+            stats.grad_norm = grads.clip_global_norm(self.cfg.grad_clip);
+            self.opt.step_grads(params, grads);
         }
         stats.loss /= self.epochs as f32;
         stats.entropy /= self.epochs as f32;
@@ -224,6 +234,8 @@ pub struct CrossEntropyMin {
     /// Gradient steps per elite update.
     pub steps: usize,
     opt: Adam,
+    /// Reusable gradient buffers, allocated on the first update.
+    grads: Option<Grads>,
     recorder: Recorder,
 }
 
@@ -231,7 +243,7 @@ impl CrossEntropyMin {
     /// Creates the trainer.
     pub fn new(cfg: OptimConfig, steps: usize) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { cfg, steps, opt, recorder: Recorder::disabled() }
+        Self { cfg, steps, opt, grads: None, recorder: Recorder::disabled() }
     }
 
     /// Installs a telemetry recorder (update latency and grad-norm).
@@ -266,9 +278,8 @@ impl CrossEntropyMin {
         let mut stats = UpdateStats::default();
         let scale = 1.0 / elites.len() as f32;
         for _ in 0..self.steps {
-            params.zero_grad();
-            let mut loss_total = 0.0f32;
             let mut h = policy.score_batch(params, elites);
+            let mut ep_losses = Vec::with_capacity(elites.len());
             for i in 0..elites.len() {
                 let ep = h.episodes[i];
                 let neg = h.tape.neg(ep.log_prob);
@@ -277,12 +288,15 @@ impl CrossEntropyMin {
                     let aux_scaled = h.tape.scale(aux, scale);
                     loss = h.tape.add(loss, aux_scaled);
                 }
-                loss_total += h.tape.value(loss).item();
-                h.tape.backward(loss, params);
+                ep_losses.push(loss);
             }
-            stats.loss += loss_total;
-            stats.grad_norm = params.clip_grad_norm(self.cfg.grad_clip);
-            self.opt.step(params);
+            let total = h.tape.add_n(&ep_losses);
+            let grads = self.grads.get_or_insert_with(|| Grads::for_params(params));
+            grads.zero();
+            h.tape.backward_into(total, grads);
+            stats.loss += h.tape.value(total).item();
+            stats.grad_norm = grads.clip_global_norm(self.cfg.grad_clip);
+            self.opt.step_grads(params, grads);
         }
         stats.loss /= self.steps as f32;
         record_update(&self.recorder, &stats);

@@ -20,6 +20,16 @@
 //! ops are row-wise (matmul output row `i` depends only on input row `i` with a
 //! fixed k-summation order; softmax/broadcast/gates are per-row or elementwise),
 //! so each episode's f32 summation order is unchanged.
+//!
+//! The update loops in [`crate::algos`] no longer take the per-episode backward
+//! path the contract above is stated against: they fold all episode losses into
+//! one scalar (`Tape::add_n`) and backpropagate the whole minibatch in a single
+//! traversal, which visits each *shared* forward node once instead of once per
+//! episode. Summed-loss gradients add episode contributions in node order
+//! rather than episode order — a float *reordering*, not a different quantity —
+//! so single-backward gradients match per-episode gradients to tolerance (see
+//! `tests/batched_policy.rs`), while any fixed update path remains run-to-run
+//! deterministic bit for bit.
 
 use eagle_tensor::{Params, Tape, Var};
 
@@ -41,8 +51,9 @@ pub struct ScoreHandle {
 ///
 /// All `Var`s live on the shared batch tape. `aux_loss` may reference the same
 /// node across episodes when the auxiliary term is episode-independent (it is
-/// for EAGLE's balance regularizer); per-episode `backward` calls then deposit
-/// its gradient once per episode, exactly as `B` separate tapes would.
+/// for EAGLE's balance regularizer); each episode's loss then contributes one
+/// scaled gradient of that node — under a summed-loss single backward exactly
+/// as under per-episode `backward` calls — matching `B` separate tapes.
 #[derive(Debug, Clone, Copy)]
 pub struct EpisodeScore {
     /// Joint log-probability of this episode's actions, `1x1`.
@@ -56,11 +67,12 @@ pub struct EpisodeScore {
 /// A batched scoring pass: one shared tape holding the forward pass of every
 /// episode, plus per-episode heads.
 ///
-/// Algorithms build each episode's loss on the shared tape and call
-/// `tape.backward(loss_b, params)` once per episode *in episode order*: the
-/// backward walk only visits nodes upstream of `loss_b`, so gradients
-/// accumulate into the parameters in the same per-episode order — and with the
-/// same f32 values — as separate per-episode tapes.
+/// Algorithms build each episode's loss on the shared tape, fold the losses
+/// with `Tape::add_n`, and run ONE `Tape::backward_into` for the whole
+/// minibatch: shared forward nodes are traversed once, not once per episode.
+/// (Per-episode `tape.backward(loss_b, params)` calls in episode order remain
+/// supported and reproduce `B` separate tapes bit for bit; the single-backward
+/// path reorders the same float contributions, agreeing to tolerance.)
 pub struct BatchScoreHandle {
     /// The shared tape holding all episodes' forward passes.
     pub tape: Tape,

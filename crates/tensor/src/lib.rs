@@ -37,12 +37,16 @@
 
 #![warn(missing_docs)]
 
+mod grads;
 pub mod init;
 pub mod optim;
 mod params;
 mod tape;
 mod tensor;
 
+pub use grads::{GradSink, Grads};
 pub use params::{ParamId, Params};
-pub use tape::{Tape, Var};
-pub use tensor::{softmax_row, Tensor};
+pub use tape::{FusedAct, Tape, Var};
+pub use tensor::{
+    matmul_kernel, set_matmul_kernel, softmax_row, MatmulKernel, Tensor, PAR_MATMUL_THRESHOLD,
+};

@@ -3,6 +3,7 @@
 //! The paper trains every agent with Adam (lr = 0.01) and clips gradients by global
 //! norm at 1.0; both are implemented here, plus plain SGD for tests and ablations.
 
+use crate::grads::Grads;
 use crate::params::{ParamId, Params};
 use crate::tensor::Tensor;
 
@@ -23,8 +24,16 @@ impl Sgd {
     pub fn step(&mut self, params: &mut Params) {
         let ids: Vec<ParamId> = params.ids().collect();
         for id in ids {
-            let g = params.grad(id).clone();
-            params.get_mut(id).add_scaled(&g, -self.lr);
+            let (value, grad) = params.value_grad_mut(id);
+            value.add_scaled(grad, -self.lr);
+        }
+    }
+
+    /// Applies one update using detached [`Grads`] buffers.
+    pub fn step_grads(&mut self, params: &mut Params, grads: &Grads) {
+        let ids: Vec<ParamId> = params.ids().collect();
+        for id in ids {
+            params.get_mut(id).add_scaled(grads.get(id), -self.lr);
         }
     }
 }
@@ -60,11 +69,8 @@ impl Adam {
         self.t
     }
 
-    /// Applies one Adam update using the gradients currently in `params`.
-    ///
-    /// Moment buffers are allocated lazily on the first step; the store's layout
-    /// (count and shapes of parameters) must stay fixed across steps.
-    pub fn step(&mut self, params: &mut Params) {
+    /// Allocates the moment buffers on first use and bumps the step counter.
+    fn begin_step(&mut self, params: &Params) -> (f32, f32) {
         if self.m.is_empty() {
             for id in params.ids().collect::<Vec<_>>() {
                 let (r, c) = params.get(id).shape();
@@ -76,20 +82,47 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        (bc1, bc2)
+    }
+
+    /// One parameter's update. The per-element op order is load-bearing:
+    /// checkpointed runs replay it and must land on identical bits.
+    fn update_one(&mut self, idx: usize, value: &mut Tensor, grad: &Tensor, bc1: f32, bc2: f32) {
+        let m = &mut self.m[idx];
+        let v = &mut self.v[idx];
+        for j in 0..grad.len() {
+            let gj = grad.data()[j];
+            m.data_mut()[j] = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
+            v.data_mut()[j] = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
+            let m_hat = m.data()[j] / bc1;
+            let v_hat = v.data()[j] / bc2;
+            value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Applies one Adam update using the gradients currently in `params`,
+    /// in place (no gradient clone — the update reads each element once).
+    ///
+    /// Moment buffers are allocated lazily on the first step; the store's layout
+    /// (count and shapes of parameters) must stay fixed across steps.
+    pub fn step(&mut self, params: &mut Params) {
+        let (bc1, bc2) = self.begin_step(params);
         let ids: Vec<ParamId> = params.ids().collect();
         for id in ids {
-            let idx = id.index();
-            let g = params.grad(id).clone();
-            let m = &mut self.m[idx];
-            let v = &mut self.v[idx];
-            for j in 0..g.len() {
-                let gj = g.data()[j];
-                m.data_mut()[j] = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
-                v.data_mut()[j] = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
-                let m_hat = m.data()[j] / bc1;
-                let v_hat = v.data()[j] / bc2;
-                params.get_mut(id).data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            let (value, grad) = params.value_grad_mut(id);
+            self.update_one(id.index(), value, grad, bc1, bc2);
+        }
+    }
+
+    /// Applies one Adam update reading gradients from detached [`Grads`]
+    /// buffers (filled by [`Tape::backward_into`](crate::tape::Tape::backward_into)).
+    /// Identical per-element arithmetic to [`Adam::step`], so the two entry
+    /// points are interchangeable bit-for-bit given equal gradients.
+    pub fn step_grads(&mut self, params: &mut Params, grads: &Grads) {
+        let (bc1, bc2) = self.begin_step(params);
+        let ids: Vec<ParamId> = params.ids().collect();
+        for id in ids {
+            self.update_one(id.index(), params.get_mut(id), grads.get(id), bc1, bc2);
         }
     }
 }

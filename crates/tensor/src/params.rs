@@ -75,6 +75,13 @@ impl Params {
         &mut self.entries[id.0].value
     }
 
+    /// Split borrow of one parameter: mutable value plus shared gradient.
+    /// Lets optimizers update in place without cloning the gradient first.
+    pub fn value_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let e = &mut self.entries[id.0];
+        (&mut e.value, &e.grad)
+    }
+
     /// Accumulated gradient of a parameter.
     pub fn grad(&self, id: ParamId) -> &Tensor {
         &self.entries[id.0].grad

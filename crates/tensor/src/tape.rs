@@ -1,16 +1,26 @@
 //! Reverse-mode automatic differentiation over a per-forward-pass tape.
 //!
 //! A [`Tape`] records every operation of one forward pass as a node holding its output
-//! value and the identities of its inputs. [`Tape::backward`] then walks the nodes in
-//! reverse, applying each op's vector-Jacobian product, and deposits gradients of
-//! registered parameters into the shared [`Params`] store.
+//! value and the identities of its inputs. [`Tape::backward_into`] then walks the nodes
+//! in reverse, applying each op's vector-Jacobian product, and deposits gradients of
+//! registered parameters into a [`GradSink`] — detached [`Grads`] buffers for the RL
+//! update loops, or the legacy in-[`Params`] accumulators via [`Tape::backward`].
 //!
 //! The tape is rebuilt for every forward pass ("define-by-run"), which is exactly how
 //! the paper's PyTorch agent operates, and keeps dynamic structures (per-sample
 //! sequence lengths, sampled placements feeding back into the decoder) trivial.
+//!
+//! ## Node layout
+//!
+//! `Op` is a small `Copy` value: variable-length payloads (concat parts, gather
+//! indices) live in two arena pools on the tape ([`Span32`] ranges into them),
+//! so recording an op never allocates beyond the amortized growth of three
+//! flat `Vec`s. On the placer workloads this removes one heap allocation per
+//! concat/select/pick node — tens of thousands per minibatch.
 
 use std::collections::HashMap;
 
+use crate::grads::{GradSink, Grads};
 use crate::params::{ParamId, Params};
 use crate::tensor::Tensor;
 
@@ -18,8 +28,30 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(usize);
 
+/// Range into one of the tape's arena pools (`u32` keeps `Op` at 16 bytes).
+#[derive(Debug, Clone, Copy)]
+struct Span32 {
+    start: u32,
+    len: u32,
+}
+
+/// Activation fused into [`Tape::affine`]. `None` gives plain `x @ w + b`.
+///
+/// The fused VJP is computed from the activation *output*, which is exact for
+/// these choices: `tanh' = 1 - y^2`, and `relu`'s mask `y > 0` coincides with
+/// `x > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedAct {
+    /// No activation.
+    None,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
 /// The recorded operation producing a node's value.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     /// Constant input (no gradient flows into it).
     Leaf,
@@ -40,18 +72,24 @@ enum Op {
     Ln(Var),
     Softmax(Var),
     LogSoftmax(Var),
-    ConcatRows(Vec<Var>),
-    ConcatCols(Vec<Var>),
+    ConcatRows(Span32),
+    ConcatCols(Span32),
     SliceRows(Var, usize, usize),
     SliceCols(Var, usize, usize),
-    SelectRows(Var, Vec<usize>),
+    SelectRows(Var, Span32),
     Transpose(Var),
     SumAll(Var),
     MeanAll(Var),
     RowSums(Var),
-    PickPerRow(Var, Vec<usize>),
+    PickPerRow(Var, Span32),
     Clamp(Var, f32, f32),
     MinElem(Var, Var),
+    /// n-ary elementwise sum over a pool span (one node instead of a chain).
+    AddN(Span32),
+    /// Fused `act(x @ w + b)` — the dense-layer pattern every placer emits.
+    Affine(Var, Var, Var, FusedAct),
+    /// Fused row-wise `log_softmax` + per-row gather: `(n,m) -> (n,1)`.
+    LogSoftmaxPick(Var, Span32),
 }
 
 struct Node {
@@ -64,6 +102,10 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Arena for multi-`Var` op payloads (concat parts, summed losses).
+    var_pool: Vec<Var>,
+    /// Arena for index payloads (row selections, per-row picks).
+    idx_pool: Vec<usize>,
     /// Parameters already injected this pass, so repeated use shares one node.
     param_cache: HashMap<ParamId, Var>,
 }
@@ -97,6 +139,26 @@ impl Tape {
 
     fn ng(&self, v: Var) -> bool {
         self.nodes[v.0].needs_grad
+    }
+
+    fn intern_vars(&mut self, parts: &[Var]) -> Span32 {
+        let start = self.var_pool.len() as u32;
+        self.var_pool.extend_from_slice(parts);
+        Span32 { start, len: parts.len() as u32 }
+    }
+
+    fn intern_idxs(&mut self, indices: &[usize]) -> Span32 {
+        let start = self.idx_pool.len() as u32;
+        self.idx_pool.extend_from_slice(indices);
+        Span32 { start, len: indices.len() as u32 }
+    }
+
+    fn vars(&self, s: Span32) -> &[Var] {
+        &self.var_pool[s.start as usize..(s.start + s.len) as usize]
+    }
+
+    fn idxs(&self, s: Span32) -> &[usize] {
+        &self.idx_pool[s.start as usize..(s.start + s.len) as usize]
     }
 
     /// Records a constant input; no gradient will flow into it.
@@ -239,7 +301,8 @@ impl Tape {
         let tensors: Vec<&Tensor> = parts.iter().map(|&v| self.value(v)).collect();
         let value = Tensor::concat_rows(&tensors);
         let g = parts.iter().any(|&v| self.ng(v));
-        self.push(Op::ConcatRows(parts.to_vec()), value, g)
+        let span = self.intern_vars(parts);
+        self.push(Op::ConcatRows(span), value, g)
     }
 
     /// Horizontal concatenation.
@@ -247,7 +310,8 @@ impl Tape {
         let tensors: Vec<&Tensor> = parts.iter().map(|&v| self.value(v)).collect();
         let value = Tensor::concat_cols(&tensors);
         let g = parts.iter().any(|&v| self.ng(v));
-        self.push(Op::ConcatCols(parts.to_vec()), value, g)
+        let span = self.intern_vars(parts);
+        self.push(Op::ConcatCols(span), value, g)
     }
 
     /// Copies rows `[start, start+len)`.
@@ -273,7 +337,8 @@ impl Tape {
     pub fn select_rows(&mut self, a: Var, indices: &[usize]) -> Var {
         let value = self.value(a).select_rows(indices);
         let g = self.ng(a);
-        self.push(Op::SelectRows(a, indices.to_vec()), value, g)
+        let span = self.intern_idxs(indices);
+        self.push(Op::SelectRows(a, span), value, g)
     }
 
     /// Matrix transpose.
@@ -320,7 +385,8 @@ impl Tape {
             value.set(r, 0, t.get(r, c));
         }
         let g = self.ng(a);
-        self.push(Op::PickPerRow(a, indices.to_vec()), value, g)
+        let span = self.intern_idxs(indices);
+        self.push(Op::PickPerRow(a, span), value, g)
     }
 
     /// Element-wise clamp to `[lo, hi]` (zero gradient outside the interval),
@@ -338,13 +404,111 @@ impl Tape {
         self.push(Op::MinElem(a, b), value, g)
     }
 
+    /// n-ary elementwise sum: `parts[0] + parts[1] + ...` in slice order, as one
+    /// node. The minibatch update loops use this to fold per-episode losses
+    /// into a single scalar, so the whole batch backpropagates in one
+    /// [`Tape::backward_into`] traversal instead of one per episode.
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty or shapes differ.
+    pub fn add_n(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "add_n of zero terms");
+        let mut value = self.value(parts[0]).clone();
+        for &p in &parts[1..] {
+            value.add_assign(self.value(p));
+        }
+        let g = parts.iter().any(|&v| self.ng(v));
+        let span = self.intern_vars(parts);
+        self.push(Op::AddN(span), value, g)
+    }
+
+    /// Fused dense layer `act(x @ w + b)`: one node for the
+    /// matmul + bias-broadcast + activation chain every placer emits.
+    ///
+    /// Bitwise-equal to the composed `matmul`/`add_row_broadcast`/activation
+    /// sequence — the forward applies the same float ops in the same order,
+    /// and the backward reproduces each composed VJP exactly (activation
+    /// gradient from the output, bias row-sum in ascending row order, then the
+    /// two matmul products). Saves two intermediate tensors and two tape nodes
+    /// per layer application.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var, act: FusedAct) -> Var {
+        assert_eq!(self.value(b).rows(), 1, "bias must be a row vector");
+        assert_eq!(self.value(w).cols(), self.value(b).cols(), "bias column mismatch");
+        let mut value = self.value(x).matmul(self.value(w));
+        let b_row = self.value(b).row(0).to_vec();
+        for r in 0..value.rows() {
+            for (v, &bb) in value.row_mut(r).iter_mut().zip(&b_row) {
+                *v += bb;
+            }
+        }
+        match act {
+            FusedAct::None => {}
+            FusedAct::Tanh => {
+                for v in value.data_mut() {
+                    *v = v.tanh();
+                }
+            }
+            FusedAct::Relu => {
+                for v in value.data_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+        let g = self.ng(x) || self.ng(w) || self.ng(b);
+        self.push(Op::Affine(x, w, b, act), value, g)
+    }
+
+    /// Fused row-wise log-softmax + per-row gather:
+    /// `(n,m) -> (n,1)` with `out[r] = log_softmax(a[r])[indices[r]]`.
+    ///
+    /// This is the action-scoring pattern (`log_softmax` then `pick_per_row`)
+    /// without materializing the full `(n,m)` log-probability matrix or its
+    /// dense gradient scatter. Bitwise-equal to the composed pair: the forward
+    /// evaluates the same stable `x - lse` expression at the picked column, and
+    /// the backward recomputes `lse` with the forward's own op sequence (hence
+    /// identical bits) before forming the composed pair's gradient.
+    pub fn log_softmax_pick(&mut self, a: Var, indices: &[usize]) -> Var {
+        let t = self.value(a);
+        assert_eq!(indices.len(), t.rows(), "one index per row required");
+        let mut value = Tensor::zeros(t.rows(), 1);
+        for (r, &c) in indices.iter().enumerate() {
+            assert!(c < t.cols(), "log_softmax_pick column {c} out of range");
+            let row = t.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            value.set(r, 0, row[c] - lse);
+        }
+        let g = self.ng(a);
+        let span = self.intern_idxs(indices);
+        self.push(Op::LogSoftmaxPick(a, span), value, g)
+    }
+
     /// Runs backpropagation from scalar node `loss`, accumulating parameter
     /// gradients into `params` (adding to whatever is already there, so multiple
     /// backward passes before an optimizer step sum their gradients).
     ///
+    /// Prefer [`Tape::backward_into`] with detached [`Grads`] buffers for new
+    /// code — mutating the store the forward pass reads from forces callers to
+    /// sequence `zero_grad`/clip/step around it. This entry point remains for
+    /// the warm-start path, tests and examples.
+    ///
     /// # Panics
     /// Panics if `loss` is not `1x1`.
     pub fn backward(&self, loss: Var, params: &mut Params) {
+        self.backward_sink(loss, params);
+    }
+
+    /// Runs backpropagation from scalar node `loss`, accumulating parameter
+    /// gradients into detached [`Grads`] buffers (adding to whatever is
+    /// already there — call [`Grads::zero`] at minibatch start).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1x1`.
+    pub fn backward_into(&self, loss: Var, grads: &mut Grads) {
+        self.backward_sink(loss, grads);
+    }
+
+    fn backward_sink(&self, loss: Var, sink: &mut dyn GradSink) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be a scalar");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -354,7 +518,7 @@ impl Tape {
                 continue;
             }
             let Some(gy) = grads[i].take() else { continue };
-            self.accumulate(i, &gy, &mut grads, params);
+            self.accumulate(i, &gy, &mut grads, sink);
         }
     }
 
@@ -375,72 +539,79 @@ impl Tape {
         }
     }
 
-    fn accumulate(&self, i: usize, gy: &Tensor, grads: &mut [Option<Tensor>], params: &mut Params) {
+    fn accumulate(
+        &self,
+        i: usize,
+        gy: &Tensor,
+        grads: &mut [Option<Tensor>],
+        sink: &mut dyn GradSink,
+    ) {
         let y = &self.nodes[i].value;
-        match &self.nodes[i].op {
+        let op = self.nodes[i].op;
+        match op {
             Op::Leaf => {}
-            Op::Param(id) => params.grad_mut(*id).add_assign(gy),
+            Op::Param(id) => sink.deposit(id, gy),
             Op::MatMul(a, b) => {
-                if self.ng(*a) {
-                    let da = gy.matmul(&self.value(*b).transpose());
-                    self.bump(grads, *a, &da, 1.0);
+                if self.ng(a) {
+                    let da = gy.matmul(&self.value(b).transpose());
+                    self.bump(grads, a, &da, 1.0);
                 }
-                if self.ng(*b) {
-                    let db = self.value(*a).transpose().matmul(gy);
-                    self.bump(grads, *b, &db, 1.0);
+                if self.ng(b) {
+                    let db = self.value(a).transpose().matmul(gy);
+                    self.bump(grads, b, &db, 1.0);
                 }
             }
             Op::Add(a, b) => {
-                self.bump(grads, *a, gy, 1.0);
-                self.bump(grads, *b, gy, 1.0);
+                self.bump(grads, a, gy, 1.0);
+                self.bump(grads, b, gy, 1.0);
             }
             Op::Sub(a, b) => {
-                self.bump(grads, *a, gy, 1.0);
-                self.bump(grads, *b, gy, -1.0);
+                self.bump(grads, a, gy, 1.0);
+                self.bump(grads, b, gy, -1.0);
             }
             Op::MulElem(a, b) => {
-                if self.ng(*a) {
-                    let da = gy.mul_elem(self.value(*b));
-                    self.bump(grads, *a, &da, 1.0);
+                if self.ng(a) {
+                    let da = gy.mul_elem(self.value(b));
+                    self.bump(grads, a, &da, 1.0);
                 }
-                if self.ng(*b) {
-                    let db = gy.mul_elem(self.value(*a));
-                    self.bump(grads, *b, &db, 1.0);
+                if self.ng(b) {
+                    let db = gy.mul_elem(self.value(a));
+                    self.bump(grads, b, &db, 1.0);
                 }
             }
             Op::AddRowBroadcast(a, b) => {
-                self.bump(grads, *a, gy, 1.0);
-                if self.ng(*b) {
+                self.bump(grads, a, gy, 1.0);
+                if self.ng(b) {
                     let mut db = Tensor::zeros(1, gy.cols());
                     for r in 0..gy.rows() {
                         for (d, &g) in db.row_mut(0).iter_mut().zip(gy.row(r)) {
                             *d += g;
                         }
                     }
-                    self.bump(grads, *b, &db, 1.0);
+                    self.bump(grads, b, &db, 1.0);
                 }
             }
-            Op::Scale(a, s) => self.bump(grads, *a, gy, *s),
-            Op::AddScalar(a, _) => self.bump(grads, *a, gy, 1.0),
+            Op::Scale(a, s) => self.bump(grads, a, gy, s),
+            Op::AddScalar(a, _) => self.bump(grads, a, gy, 1.0),
             Op::Sigmoid(a) => {
                 let da = gy.zip(y, |g, yv| g * yv * (1.0 - yv));
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Tanh(a) => {
                 let da = gy.zip(y, |g, yv| g * (1.0 - yv * yv));
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Relu(a) => {
-                let da = gy.zip(self.value(*a), |g, x| if x > 0.0 { g } else { 0.0 });
-                self.bump(grads, *a, &da, 1.0);
+                let da = gy.zip(self.value(a), |g, x| if x > 0.0 { g } else { 0.0 });
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Exp(a) => {
                 let da = gy.mul_elem(y);
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Ln(a) => {
-                let da = gy.zip(self.value(*a), |g, x| g / x);
-                self.bump(grads, *a, &da, 1.0);
+                let da = gy.zip(self.value(a), |g, x| g / x);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Softmax(a) => {
                 // dX = Y * (dY - rowdot(dY, Y)) per row.
@@ -451,7 +622,7 @@ impl Tape {
                         da.set(r, c, y.get(r, c) * (gy.get(r, c) - dot));
                     }
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::LogSoftmax(a) => {
                 // dX = dY - softmax(X) * rowsum(dY).
@@ -463,20 +634,20 @@ impl Tape {
                         da.set(r, c, gy.get(r, c) - soft * rowsum);
                     }
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
-            Op::ConcatRows(parts) => {
+            Op::ConcatRows(span) => {
                 let mut start = 0;
-                for &p in parts {
+                for &p in self.vars(span) {
                     let rows = self.value(p).rows();
                     let gp = gy.slice_rows(start, rows);
                     self.bump(grads, p, &gp, 1.0);
                     start += rows;
                 }
             }
-            Op::ConcatCols(parts) => {
+            Op::ConcatCols(span) => {
                 let mut start = 0;
-                for &p in parts {
+                for &p in self.vars(span) {
                     let cols = self.value(p).cols();
                     let mut gp = Tensor::zeros(gy.rows(), cols);
                     for r in 0..gy.rows() {
@@ -487,69 +658,69 @@ impl Tape {
                 }
             }
             Op::SliceRows(a, start, len) => {
-                let src = self.value(*a);
+                let src = self.value(a);
                 let mut da = Tensor::zeros(src.rows(), src.cols());
-                for r in 0..*len {
+                for r in 0..len {
                     da.row_mut(start + r).copy_from_slice(gy.row(r));
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::SliceCols(a, start, len) => {
-                let src = self.value(*a);
+                let src = self.value(a);
                 let mut da = Tensor::zeros(src.rows(), src.cols());
                 for r in 0..gy.rows() {
-                    da.row_mut(r)[*start..start + len].copy_from_slice(gy.row(r));
+                    da.row_mut(r)[start..start + len].copy_from_slice(gy.row(r));
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
-            Op::SelectRows(a, indices) => {
-                let src = self.value(*a);
+            Op::SelectRows(a, span) => {
+                let src = self.value(a);
                 let mut da = Tensor::zeros(src.rows(), src.cols());
-                for (r, &idx) in indices.iter().enumerate() {
+                for (r, &idx) in self.idxs(span).iter().enumerate() {
                     for (d, &g) in da.row_mut(idx).iter_mut().zip(gy.row(r)) {
                         *d += g;
                     }
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Transpose(a) => {
                 let da = gy.transpose();
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::SumAll(a) => {
-                let src = self.value(*a);
+                let src = self.value(a);
                 let da = Tensor::full(src.rows(), src.cols(), gy.item());
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::MeanAll(a) => {
-                let src = self.value(*a);
+                let src = self.value(a);
                 let da = Tensor::full(src.rows(), src.cols(), gy.item() / src.len() as f32);
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::RowSums(a) => {
-                let src = self.value(*a);
+                let src = self.value(a);
                 let mut da = Tensor::zeros(src.rows(), src.cols());
                 for r in 0..src.rows() {
                     let g = gy.get(r, 0);
                     da.row_mut(r).fill(g);
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
-            Op::PickPerRow(a, indices) => {
-                let src = self.value(*a);
+            Op::PickPerRow(a, span) => {
+                let src = self.value(a);
                 let mut da = Tensor::zeros(src.rows(), src.cols());
-                for (r, &c) in indices.iter().enumerate() {
+                for (r, &c) in self.idxs(span).iter().enumerate() {
                     da.set(r, c, gy.get(r, 0));
                 }
-                self.bump(grads, *a, &da, 1.0);
+                self.bump(grads, a, &da, 1.0);
             }
             Op::Clamp(a, lo, hi) => {
-                let da = gy.zip(self.value(*a), |g, x| if x > *lo && x < *hi { g } else { 0.0 });
-                self.bump(grads, *a, &da, 1.0);
+                let da = gy.zip(self.value(a), |g, x| if x > lo && x < hi { g } else { 0.0 });
+                self.bump(grads, a, &da, 1.0);
             }
             Op::MinElem(a, b) => {
-                let (ta, tb) = (self.value(*a), self.value(*b));
-                if self.ng(*a) {
+                let (ta, tb) = (self.value(a), self.value(b));
+                if self.ng(a) {
                     let da = Tensor::from_vec(
                         ta.rows(),
                         ta.cols(),
@@ -557,9 +728,9 @@ impl Tape {
                             .map(|j| if ta.data()[j] <= tb.data()[j] { gy.data()[j] } else { 0.0 })
                             .collect(),
                     );
-                    self.bump(grads, *a, &da, 1.0);
+                    self.bump(grads, a, &da, 1.0);
                 }
-                if self.ng(*b) {
+                if self.ng(b) {
                     let db = Tensor::from_vec(
                         tb.rows(),
                         tb.cols(),
@@ -567,8 +738,61 @@ impl Tape {
                             .map(|j| if tb.data()[j] < ta.data()[j] { gy.data()[j] } else { 0.0 })
                             .collect(),
                     );
-                    self.bump(grads, *b, &db, 1.0);
+                    self.bump(grads, b, &db, 1.0);
                 }
+            }
+            Op::AddN(span) => {
+                for &p in self.vars(span) {
+                    self.bump(grads, p, gy, 1.0);
+                }
+            }
+            Op::Affine(x, w, b, act) => {
+                // Activation VJP from the output, exactly as the standalone
+                // activation nodes compute it (relu's `y > 0` mask equals the
+                // composed kernel's `x > 0` test).
+                let dz = match act {
+                    FusedAct::None => gy.clone(),
+                    FusedAct::Tanh => gy.zip(y, |g, yv| g * (1.0 - yv * yv)),
+                    FusedAct::Relu => gy.zip(y, |g, yv| if yv > 0.0 { g } else { 0.0 }),
+                };
+                if self.ng(b) {
+                    let mut db = Tensor::zeros(1, dz.cols());
+                    for r in 0..dz.rows() {
+                        for (d, &g) in db.row_mut(0).iter_mut().zip(dz.row(r)) {
+                            *d += g;
+                        }
+                    }
+                    self.bump(grads, b, &db, 1.0);
+                }
+                if self.ng(x) {
+                    let dx = dz.matmul(&self.value(w).transpose());
+                    self.bump(grads, x, &dx, 1.0);
+                }
+                if self.ng(w) {
+                    let dw = self.value(x).transpose().matmul(&dz);
+                    self.bump(grads, w, &dw, 1.0);
+                }
+            }
+            Op::LogSoftmaxPick(a, span) => {
+                // Composed pair's gradient: scatter gy to the picked column,
+                // then dX = dY - softmax(X) * rowsum(dY), where rowsum of the
+                // scattered row is just gy[r]. `lse` is recomputed with the
+                // forward's own op sequence, so `x - lse` has identical bits
+                // to the stored log-probabilities of the composed version.
+                let src = self.value(a);
+                let mut da = Tensor::zeros(src.rows(), src.cols());
+                for (r, &picked) in self.idxs(span).iter().enumerate() {
+                    let row = src.row(r);
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+                    let g = gy.get(r, 0);
+                    for (c, &xv) in row.iter().enumerate() {
+                        let soft = (xv - lse).exp();
+                        let gy_elem = if c == picked { g } else { 0.0 };
+                        da.set(r, c, gy_elem - soft * g);
+                    }
+                }
+                self.bump(grads, a, &da, 1.0);
             }
         }
     }

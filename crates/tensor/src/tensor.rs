@@ -6,18 +6,58 @@
 //! and auditable. A row vector is `(1, n)`; a scalar is `(1, 1)`.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Threshold (in multiply-adds, `m * n * k`) above which [`Tensor::matmul`]
 /// shards the computation across threads. Counting flops rather than output
 /// elements keeps skinny products with a large inner dimension (e.g. `64x1024
 /// @ 1024x8`) on the parallel path and tiny-`k` products off it, where thread
 /// spawn overhead would dominate.
-const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+///
+/// Re-measured for the cache-blocked kernel with the `matmul_bench` bin
+/// (see `results/BENCH_matmul.json`): a `crossbeam::scope` round costs
+/// roughly 100us of spawn overhead while the serial blocked kernel streams
+/// ~11G multiply-adds/sec, so sharding across `T` threads only wins once the
+/// saved work `(1 - 1/T) * t_serial` exceeds the spawn cost — at `T = 4`
+/// that puts the crossover in the 1-2M multiply-add range. `128^3` (~2.1M)
+/// sits just above it; below, the serial blocked kernel wins even with
+/// spare cores.
+pub const PAR_MATMUL_THRESHOLD: usize = 128 * 128 * 128;
 
 /// Worker threads available for sharded matmuls — the workspace-wide cached
-/// host parallelism (shared with the rollout engine's worker resolution).
+/// host parallelism (shared with the rollout engine's worker resolution, and
+/// overridable per-run via `eagle_obs::set_available_workers`).
 fn matmul_threads() -> usize {
     eagle_obs::available_workers()
+}
+
+/// Selects the inner kernel [`Tensor::matmul`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulKernel {
+    /// The original triple-loop `ikj` kernel (kept for bench comparisons).
+    Naive,
+    /// Cache-blocked kernel with packed-B micro-panels (the default).
+    Blocked,
+}
+
+/// Process-wide kernel selection (0 = naive, 1 = blocked). Benches flip this
+/// to time the old kernel; everything else runs the default.
+static MATMUL_KERNEL: AtomicU8 = AtomicU8::new(1);
+
+/// Installs the kernel [`Tensor::matmul`] uses for the rest of the process.
+///
+/// Both kernels produce *bit-identical* outputs (see [`matmul_rows_blocked`]'s
+/// ordering argument), so this is purely a performance switch for benches.
+pub fn set_matmul_kernel(kernel: MatmulKernel) {
+    MATMUL_KERNEL.store(kernel as u8, Ordering::Relaxed);
+}
+
+/// The kernel [`Tensor::matmul`] currently dispatches to.
+pub fn matmul_kernel() -> MatmulKernel {
+    match MATMUL_KERNEL.load(Ordering::Relaxed) {
+        0 => MatmulKernel::Naive,
+        _ => MatmulKernel::Blocked,
+    }
 }
 
 /// A dense matrix of `f32` values in row-major order.
@@ -271,22 +311,40 @@ impl Tensor {
 
     /// Matrix product `self @ other`.
     ///
-    /// Uses a cache-friendly `ikj` loop; large products are sharded across threads
-    /// with `crossbeam::scope`, splitting the *output rows* so each thread writes a
-    /// disjoint region (no synchronization on the hot path).
+    /// Dispatches to the kernel selected by [`set_matmul_kernel`] (default: the
+    /// cache-blocked kernel with packed-B micro-panels). Large products are
+    /// sharded across threads with `crossbeam::scope`, splitting the *output
+    /// rows* so each thread writes a disjoint region (no synchronization on
+    /// the hot path). Both kernels and every thread count produce bit-identical
+    /// results: each output element is one ascending-`k` f32 accumulation.
     ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Self) -> Self {
+        self.matmul_with(other, matmul_kernel())
+    }
+
+    /// Matrix product through the original `ikj` kernel, bypassing the
+    /// process-wide kernel selection. Benches use this as the comparison
+    /// column; the result is bit-identical to [`Tensor::matmul`].
+    pub fn matmul_naive(&self, other: &Self) -> Self {
+        self.matmul_with(other, MatmulKernel::Naive)
+    }
+
+    fn matmul_with(&self, other: &Self, kernel: MatmulKernel) -> Self {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let run = match kernel {
+            MatmulKernel::Naive => matmul_rows,
+            MatmulKernel::Blocked => matmul_rows_blocked,
+        };
         let mut out = Self::zeros(m, n);
-        if m * n * k >= PAR_MATMUL_THRESHOLD && m >= 2 {
-            let threads = matmul_threads().min(m);
+        let threads = matmul_threads().min(m);
+        if threads > 1 && m * n * k >= PAR_MATMUL_THRESHOLD && m >= 2 {
             let chunk_rows = m.div_ceil(threads);
             let a = &self.data;
             let b = &other.data;
@@ -294,13 +352,13 @@ impl Tensor {
                 for (ci, out_chunk) in out.data.chunks_mut(chunk_rows * n).enumerate() {
                     let row0 = ci * chunk_rows;
                     s.spawn(move |_| {
-                        matmul_rows(a, b, out_chunk, row0, k, n);
+                        run(a, b, out_chunk, row0, k, n);
                     });
                 }
             })
             .expect("matmul worker panicked");
         } else {
-            matmul_rows(&self.data, &other.data, &mut out.data, 0, k, n);
+            run(&self.data, &other.data, &mut out.data, 0, k, n);
         }
         out
     }
@@ -416,6 +474,99 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: 
     }
 }
 
+/// Register-tile height of the blocked microkernel (rows of `A` per pass).
+const MR: usize = 4;
+/// Register-tile width (one packed `B` micro-panel; 8 f32 = 32 bytes, two
+/// SSE2 lanes). The `MR x NR` accumulator tile occupies 8 of the baseline
+/// x86-64 target's 16 xmm registers, leaving room for the packed-`B` vectors
+/// and the broadcast `A` element. `NR = 16` (a full cache line) spilled the
+/// tile to the stack on the SSE2 baseline and lost to the naive kernel at
+/// mid sizes — see `results/BENCH_matmul.json`.
+const NR: usize = 8;
+/// Cache-block depth over the inner dimension: one packed panel is
+/// `KC x NR` f32 = 16 KiB, comfortably inside L1 alongside the `A` rows.
+const KC: usize = 512;
+
+/// Cache-blocked variant of [`matmul_rows`]: computes the same output rows of
+/// `A @ B` through a GEBP-style loop nest with a "transposed-B" packing step.
+///
+/// For each `(k-block, column-block)` pair, the `KC x NR` slice of `B` is
+/// packed k-major into a contiguous micro-panel (so the microkernel streams it
+/// linearly regardless of `n`), then an `MR x NR` register tile of output
+/// accumulators is updated for `MR` rows of `A` at a time. The inner loop body
+/// — broadcast `a[r][kk]`, multiply into `NR` independent accumulators — is
+/// the shape LLVM autovectorizes across the tile without reassociating any
+/// single accumulation chain.
+///
+/// # Bit-identity with the naive kernel
+///
+/// Every output element is produced by exactly one f32 accumulator that starts
+/// at `+0.0` and adds `a[i][kk] * b[kk][j]` for `kk` ascending — k-blocks are
+/// visited in order and the accumulator round-trips through `out` between
+/// blocks, which is exact. That is the naive kernel's summation order, so the
+/// results match bit for bit. The one textual difference is that the naive
+/// kernel *skips* `kk` where `a[i][kk] == 0.0`; for the finite values the tape
+/// guarantees, adding those `±0.0` products is a bitwise no-op (the
+/// accumulator can never be `-0.0`: it starts at `+0.0`, cancellation rounds
+/// to `+0.0`, and `+0.0 + -0.0 = +0.0`), so batched layers built on
+/// zero-padding — e.g. the GCN placer's block-diagonal adjacency — keep their
+/// per-episode bit-identity under either kernel.
+fn matmul_rows_blocked(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n.max(1);
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut packed = [0.0f32; KC * NR];
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        for jb in (0..n).step_by(NR) {
+            let nr = NR.min(n - jb);
+            // Pack B[kb..kb+kc, jb..jb+nr] k-major; pad tail columns with
+            // zeros so full-width tiles can run over the padded lanes.
+            for kk in 0..kc {
+                let src = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + nr];
+                packed[kk * NR..kk * NR + nr].copy_from_slice(src);
+                packed[kk * NR + nr..(kk + 1) * NR].fill(0.0);
+            }
+            let mut i = 0;
+            while i < rows {
+                let mr = MR.min(rows - i);
+                let mut acc = [[0.0f32; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let o = &out[(i + r) * n + jb..(i + r) * n + jb + nr];
+                    acc_row[..nr].copy_from_slice(o);
+                }
+                if mr == MR {
+                    // Full tile: constant trip counts, NR independent lanes.
+                    for kk in 0..kc {
+                        let bp = &packed[kk * NR..(kk + 1) * NR];
+                        for (r, acc_row) in acc.iter_mut().enumerate() {
+                            let ar = a[(row0 + i + r) * k + kb + kk];
+                            for (c, &bv) in acc_row.iter_mut().zip(bp) {
+                                *c += ar * bv;
+                            }
+                        }
+                    }
+                } else {
+                    for kk in 0..kc {
+                        let bp = &packed[kk * NR..(kk + 1) * NR];
+                        for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                            let ar = a[(row0 + i + r) * k + kb + kk];
+                            for (c, &bv) in acc_row.iter_mut().zip(bp) {
+                                *c += ar * bv;
+                            }
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    out[(i + r) * n + jb..(i + r) * n + jb + nr].copy_from_slice(&acc_row[..nr]);
+                }
+                i += mr;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +624,66 @@ mod tests {
             }
         }
         assert!(big.max_abs_diff(&reference) < 1e-3);
+    }
+
+    /// Deterministic pseudo-random fill that exercises signs, zeros and a wide
+    /// dynamic range without depending on an RNG crate in this test module.
+    fn fill(rows: usize, cols: usize, salt: u32) -> Tensor {
+        let mut state = salt.wrapping_mul(2654435761).wrapping_add(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                match state % 11 {
+                    0 => 0.0, // exercise the naive kernel's zero-skip path
+                    r => ((state >> 8) as f32 / (1 << 24) as f32 - 0.5) * r as f32,
+                }
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_edge_shapes() {
+        // Shapes chosen to hit every tile-boundary case: below one register
+        // tile, exact multiples of MR/NR/KC, and ragged tails in each of m, n
+        // and k (including k > KC so multiple k-blocks round-trip through the
+        // output buffer).
+        let shapes = [
+            (1, 1, 1),
+            (3, 2, 5),
+            (4, 16, 256), // exactly one full tile in every dimension
+            (5, 17, 257), // one past each block boundary
+            (8, 300, 33), // k-blocking with ragged n tail
+            (7, 5, 300),  // multiple k-blocks, tiny tiles
+            (97, 53, 71), // the parallel-path shape
+            (2, 1, 400),
+        ];
+        for (m, k, n) in shapes {
+            let a = fill(m, k, (m * 1000 + k) as u32);
+            let b = fill(k, n, (k * 1000 + n) as u32);
+            let naive = a.matmul_naive(&b);
+            let blocked = a.matmul_with(&b, MatmulKernel::Blocked);
+            for (i, (x, y)) in naive.data().iter().zip(blocked.data()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "({m}x{k})@({k}x{n}) elem {i}: naive {x} vs blocked {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_toggle_switches_default_matmul() {
+        let a = fill(6, 40, 1);
+        let b = fill(40, 19, 2);
+        let expect = a.matmul_naive(&b);
+        set_matmul_kernel(MatmulKernel::Naive);
+        let via_naive = a.matmul(&b);
+        set_matmul_kernel(MatmulKernel::Blocked);
+        let via_blocked = a.matmul(&b);
+        assert_eq!(via_naive, expect);
+        assert_eq!(via_blocked, expect); // kernels are bitwise-interchangeable
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Crash-safe resume contract: a run killed at a minibatch boundary and
 //! resumed from its checkpoint produces the same curve, parameters, best
-//! placement and final measurement — bit for bit — as the uninterrupted run
-//! with the same seed, for every algorithm and worker count.
+//! placement and final measurement as the uninterrupted run with the same
+//! seed, for every algorithm and worker count. Discrete outcomes (placements,
+//! sample counts) must match exactly; float curves and parameters are compared
+//! under the documented ULP budgets in `tests/common` (observed distance
+//! today: 0 — the budget only licenses mathematically neutral float
+//! reorderings inside the update path, not different results).
 //!
 //! The "kill" is simulated by training only the first *k* minibatches with
 //! auto-checkpointing on: the checkpoint written at minibatch *k* is exactly
@@ -19,6 +23,9 @@ use eagle::tensor::Params;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+mod common;
+use common::{assert_f32_close, assert_f64_close, assert_opt_f64_close, CURVE_ULPS, PARAM_ULPS};
 
 const MINIBATCH: usize = 10;
 
@@ -91,42 +98,48 @@ fn killed_and_resumed(
     (result, params)
 }
 
-fn assert_bit_identical(a: &(TrainResult, Params), b: &(TrainResult, Params), ctx: &str) {
+/// Discrete outcomes match exactly; floats match within the documented
+/// ULP budgets ([`CURVE_ULPS`] for curve values, [`PARAM_ULPS`] for trained
+/// parameters).
+fn assert_run_matches(a: &(TrainResult, Params), b: &(TrainResult, Params), ctx: &str) {
     let ((ra, pa), (rb, pb)) = (a, b);
     assert_eq!(ra.samples, rb.samples, "{ctx}: samples");
     assert_eq!(ra.num_invalid, rb.num_invalid, "{ctx}: num_invalid");
     assert_eq!(ra.curve.points.len(), rb.curve.points.len(), "{ctx}: curve length");
     for (i, (x, y)) in ra.curve.points.iter().zip(&rb.curve.points).enumerate() {
         assert_eq!(x.sample, y.sample, "{ctx}: point {i} sample");
-        assert_eq!(x.wall_clock.to_bits(), y.wall_clock.to_bits(), "{ctx}: point {i} wall_clock");
-        assert_eq!(
-            x.measured.map(f64::to_bits),
-            y.measured.map(f64::to_bits),
-            "{ctx}: point {i} measured"
+        assert_f64_close(
+            x.wall_clock,
+            y.wall_clock,
+            CURVE_ULPS,
+            &format!("{ctx}: point {i} wall_clock"),
         );
-        assert_eq!(
-            x.best_so_far.map(f64::to_bits),
-            y.best_so_far.map(f64::to_bits),
-            "{ctx}: point {i} best_so_far"
+        assert_opt_f64_close(
+            x.measured,
+            y.measured,
+            CURVE_ULPS,
+            &format!("{ctx}: point {i} measured"),
+        );
+        assert_opt_f64_close(
+            x.best_so_far,
+            y.best_so_far,
+            CURVE_ULPS,
+            &format!("{ctx}: point {i} best_so_far"),
         );
     }
     assert_eq!(ra.best_placement, rb.best_placement, "{ctx}: best placement");
-    assert_eq!(
-        ra.final_step_time.map(f64::to_bits),
-        rb.final_step_time.map(f64::to_bits),
-        "{ctx}: final step time"
+    assert_opt_f64_close(
+        ra.final_step_time,
+        rb.final_step_time,
+        CURVE_ULPS,
+        &format!("{ctx}: final step time"),
     );
     assert_eq!(pa.len(), pb.len(), "{ctx}: param tensor count");
     for id in pa.ids() {
         let (ta, tb) = (pa.get(id), pb.get(id));
         assert_eq!(ta.shape(), tb.shape(), "{ctx}: shape of {}", pa.name(id));
         for (j, (va, vb)) in ta.data().iter().zip(tb.data()).enumerate() {
-            assert_eq!(
-                va.to_bits(),
-                vb.to_bits(),
-                "{ctx}: param {}[{j}] {va} vs {vb}",
-                pa.name(id)
-            );
+            assert_f32_close(*va, *vb, PARAM_ULPS, &format!("{ctx}: param {}[{j}]", pa.name(id)));
         }
     }
 }
@@ -145,7 +158,7 @@ fn kill_and_resume_is_bit_identical_for_every_algo_and_worker_count() {
             let dir = tmp(&format!("{algo:?}-w{workers}").to_lowercase());
             let straight = straight_run(algo, workers, TOTAL);
             let resumed = killed_and_resumed(algo, workers, KILL_AFTER, TOTAL, &dir);
-            assert_bit_identical(&straight, &resumed, &ctx);
+            assert_run_matches(&straight, &resumed, &ctx);
             std::fs::remove_dir_all(&dir).ok();
         }
     }
@@ -190,7 +203,7 @@ proptest! {
         let dir = tmp(&format!("boundary-{kill_after}"));
         let straight = straight_run(Algo::PpoCe, 0, TOTAL);
         let resumed = killed_and_resumed(Algo::PpoCe, 0, kill_after, TOTAL, &dir);
-        assert_bit_identical(&straight, &resumed, &format!("boundary {kill_after}"));
+        assert_run_matches(&straight, &resumed, &format!("boundary {kill_after}"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

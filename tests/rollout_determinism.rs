@@ -1,8 +1,12 @@
-//! The rollout engine's central contract: training results are bit-identical
+//! The rollout engine's central contract: training results are identical
 //! for every worker count. Sampling and noise stay serial and seeded; only the
 //! pure per-episode work (decode + simulation) fans out, so the curve, the
-//! trained policy's best placement and every counter must match exactly
-//! between a serial run and a parallel one.
+//! trained policy's best placement and every counter must match between a
+//! serial run and a parallel one. Discrete outcomes (placements, counters,
+//! sample counts) match exactly; curve floats are compared under the
+//! documented ULP budgets in `tests/common` (observed distance today: 0 —
+//! the budget only licenses mathematically neutral float reorderings inside
+//! the single-backward update path, not different results).
 
 use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainResult, TrainerConfig};
 use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
@@ -10,6 +14,9 @@ use eagle::obs::Recorder;
 use eagle::tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+mod common;
+use common::{assert_curves_close, assert_opt_f64_close, CURVE_ULPS};
 
 fn run_with_workers(workers: usize) -> TrainResult {
     run_with_workers_and_recorder(workers, Recorder::disabled())
@@ -38,10 +45,16 @@ fn same_seed_same_curve_for_any_worker_count() {
     let parallel = run_with_workers(4);
 
     // Curve points carry the measured values, the noise realization (through
-    // `measured`) and the simulated wall-clock — all must match bit-for-bit.
-    assert_eq!(serial.curve.points, parallel.curve.points);
+    // `measured`) and the simulated wall-clock — sample indices exactly,
+    // floats within the curve ULP budget.
+    assert_curves_close(&serial.curve, &parallel.curve, "serial vs parallel");
     assert_eq!(serial.best_placement, parallel.best_placement);
-    assert_eq!(serial.final_step_time, parallel.final_step_time);
+    assert_opt_f64_close(
+        serial.final_step_time,
+        parallel.final_step_time,
+        CURVE_ULPS,
+        "serial vs parallel: final step time",
+    );
     assert_eq!(serial.num_invalid, parallel.num_invalid);
     assert_eq!(serial.samples, parallel.samples);
 
@@ -62,9 +75,14 @@ fn telemetry_recording_never_changes_the_curve() {
     let silent = run_with_workers(2);
     let recorder = Recorder::new();
     let recorded = run_with_workers_and_recorder(2, recorder.clone());
-    assert_eq!(silent.curve.points, recorded.curve.points);
+    assert_curves_close(&silent.curve, &recorded.curve, "silent vs recorded");
     assert_eq!(silent.best_placement, recorded.best_placement);
-    assert_eq!(silent.final_step_time, recorded.final_step_time);
+    assert_opt_f64_close(
+        silent.final_step_time,
+        recorded.final_step_time,
+        CURVE_ULPS,
+        "silent vs recorded: final step time",
+    );
     assert_eq!(silent.telemetry.evals, recorded.telemetry.evals);
     assert_eq!(silent.telemetry.cache_hits, recorded.telemetry.cache_hits);
     // And the recorder actually saw the run: 40 samples in minibatches of 10.
@@ -82,7 +100,7 @@ fn telemetry_recording_never_changes_the_curve() {
 fn auto_worker_count_matches_serial_too() {
     let serial = run_with_workers(1);
     let auto = run_with_workers(0);
-    assert_eq!(serial.curve.points, auto.curve.points);
+    assert_curves_close(&serial.curve, &auto.curve, "serial vs auto");
     assert_eq!(serial.best_placement, auto.best_placement);
     assert!(auto.telemetry.workers >= 1);
 }
