@@ -1,0 +1,456 @@
+//! Serving-path throughput bench: requests/sec and p50/p99 latency of the
+//! `eagle-serve` daemon under synthetic closed-loop client load, plus the wave-
+//! coalescing and hot-reload gates.
+//!
+//! ```text
+//! serve_throughput [--requests N] [--concurrency 1,4,16,32] [--candidates K]
+//!                  [--scale quick] [--coalesce-us 200] [--sim-workers W]
+//!                  [--family inception_v3] [--addr HOST:PORT]
+//!                  [--p99-budget-ms MS] [--min-rps RPS] [--no-hot-reload]
+//!                  [--out DIR]
+//! ```
+//!
+//! Default mode spins up an **in-process** daemon over real localhost TCP with
+//! a freshly seeded policy store, so the run is self-contained and can read the
+//! server's recorder. Gates (hard asserts):
+//!
+//! * zero error replies across every phase;
+//! * wave coalescing: `serve.forwards / requests < 1` at concurrency ≥ 4
+//!   (in-process mode only — needs the recorder);
+//! * determinism: the same request replayed yields the identical placement;
+//! * hot-reload: republishing the policy mid-load swaps the served version
+//!   with zero errors (both versions observed in replies);
+//! * optional `--p99-budget-ms` / `--min-rps` CI budgets.
+//!
+//! With `--addr` the bench instead drives an already-running daemon (the CI
+//! serve-smoke job starts the real `eagle-serve` binary and points this at
+//! it); recorder-based gates are skipped, error/latency gates still apply.
+//!
+//! Latency is measured client-side around each request round-trip; throughput
+//! is total completed requests over wall-clock. Absolute numbers are
+//! machine-dependent — CI gates only the ratios and the generous p99 budget.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use eagle_core::AgentScale;
+use eagle_devsim::{Benchmark, Machine};
+use eagle_obs::Recorder;
+use eagle_serve::{
+    api::PlaceRequest, publish_state, untrained_state, Client, PolicyStore, RouterConfig, Server,
+    ServerConfig,
+};
+use serde_json::Value;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+struct Args {
+    requests: u64,
+    concurrency: Vec<usize>,
+    candidates: u32,
+    scale: String,
+    coalesce_us: u64,
+    sim_workers: usize,
+    family: String,
+    addr: Option<String>,
+    p99_budget_ms: Option<f64>,
+    min_rps: Option<f64>,
+    hot_reload: bool,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 1500,
+        concurrency: vec![1, 4, 16, 32],
+        candidates: 1,
+        scale: "quick".into(),
+        coalesce_us: 200,
+        sim_workers: 0,
+        family: "inception_v3".into(),
+        addr: None,
+        p99_budget_ms: None,
+        min_rps: None,
+        hot_reload: true,
+        out: "results".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--no-hot-reload" {
+            args.hot_reload = false;
+            i += 1;
+            continue;
+        }
+        let value = argv.get(i + 1).unwrap_or_else(|| {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        });
+        match flag {
+            "--requests" => args.requests = value.parse().expect("--requests integer"),
+            "--concurrency" => {
+                args.concurrency = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--concurrency comma-separated integers"))
+                    .collect();
+            }
+            "--candidates" => args.candidates = value.parse().expect("--candidates integer"),
+            "--scale" => args.scale = value.clone(),
+            "--coalesce-us" => args.coalesce_us = value.parse().expect("--coalesce-us integer"),
+            "--sim-workers" => args.sim_workers = value.parse().expect("--sim-workers integer"),
+            "--family" => args.family = value.clone(),
+            "--addr" => args.addr = Some(value.clone()),
+            "--p99-budget-ms" => {
+                args.p99_budget_ms = Some(value.parse().expect("--p99-budget-ms number"))
+            }
+            "--min-rps" => args.min_rps = Some(value.parse().expect("--min-rps number")),
+            "--out" => args.out = value.into(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+/// One closed-loop load phase: `concurrency` client connections issue
+/// `requests` total placements by registered key.
+struct PhaseResult {
+    concurrency: usize,
+    requests: u64,
+    errors: u64,
+    elapsed_s: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    forwards_per_request: Option<f64>,
+    versions: Vec<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    addr: SocketAddr,
+    family: &str,
+    graph_key: &str,
+    candidates: u32,
+    concurrency: usize,
+    requests: u64,
+    recorder: Option<&Recorder>,
+    seq: &AtomicU64,
+) -> PhaseResult {
+    let forwards0 = recorder.map(|r| r.counter_value("serve.forwards"));
+    let issued = AtomicU64::new(0);
+    let start = Instant::now();
+    let results: Vec<(Vec<f64>, u64, Vec<String>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let issued = &issued;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::new();
+                    let mut errors = 0u64;
+                    let mut versions: Vec<String> = Vec::new();
+                    while issued.fetch_add(1, Ordering::SeqCst) < requests {
+                        let id = seq.fetch_add(1, Ordering::SeqCst);
+                        let mut req = PlaceRequest::by_key(id, family, graph_key);
+                        req.candidates = candidates;
+                        let t0 = Instant::now();
+                        let resp = client.place(req).expect("round-trip");
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        if resp.error.is_some() {
+                            errors += 1;
+                        } else if let Some(v) = resp.policy_version {
+                            if !versions.contains(&v) {
+                                versions.push(v);
+                            }
+                        }
+                    }
+                    (latencies, errors, versions)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    let mut versions: Vec<String> = Vec::new();
+    for (l, e, vs) in results {
+        latencies.extend(l);
+        errors += e;
+        for v in vs {
+            if !versions.contains(&v) {
+                versions.push(v);
+            }
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let done = latencies.len() as u64;
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let forwards_per_request = forwards0.map(|f0| {
+        let df = recorder.unwrap().counter_value("serve.forwards") - f0;
+        df as f64 / done as f64
+    });
+    PhaseResult {
+        concurrency,
+        requests: done,
+        errors,
+        elapsed_s,
+        rps: done as f64 / elapsed_s,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        forwards_per_request,
+        versions,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // --- Server: in-process (own store) or external (--addr). ---
+    let mut _server_keep: Option<(Server, std::path::PathBuf)> = None;
+    let (addr, recorder, store_dir): (SocketAddr, Option<Recorder>, Option<std::path::PathBuf>) =
+        match &args.addr {
+            Some(a) => (a.parse().expect("--addr HOST:PORT"), None, None),
+            None => {
+                let store_dir =
+                    std::env::temp_dir().join(format!("eagle-serve-bench-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&store_dir);
+                let machine = Machine::paper_machine();
+                let bench = Benchmark::ALL
+                    .iter()
+                    .copied()
+                    .find(|b| b.name() == args.family)
+                    .expect("--family must name a paper benchmark in in-process mode");
+                let graph = bench.graph_for(&machine);
+                let scale = AgentScale::from_name(&args.scale).expect("known --scale");
+                let state = untrained_state(&graph, &machine, scale, 1).expect("seed state");
+                let v1 =
+                    publish_state(&store_dir, &args.family, &args.scale, &state).expect("publish");
+                println!("seeded store {} with {} version {v1}", store_dir.display(), args.family);
+
+                let recorder = Recorder::new();
+                let store = Arc::new(PolicyStore::open(&store_dir, recorder.clone()));
+                let router = RouterConfig {
+                    coalesce: std::time::Duration::from_micros(args.coalesce_us),
+                    sim_workers: args.sim_workers,
+                    ..RouterConfig::default()
+                };
+                let server = Server::start(
+                    ServerConfig { addr: "127.0.0.1:0".into(), router },
+                    store,
+                    recorder.clone(),
+                )
+                .expect("server start");
+                let addr = server.local_addr();
+                _server_keep = Some((server, store_dir.clone()));
+                (addr, Some(recorder), Some(store_dir))
+            }
+        };
+
+    // --- Register the graph once; requests then reference it by key. ---
+    let machine = Machine::paper_machine();
+    let bench = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name() == args.family)
+        .expect("--family must name a paper benchmark");
+    let graph = bench.graph_for(&machine);
+    let mut client = Client::connect(addr).expect("connect");
+    let graph_key = client.register_graph(&graph).expect("register graph");
+    println!("{}: {} ops, graph_key {graph_key}, serving at {addr}", args.family, graph.len());
+
+    // --- Determinism: identical request twice => identical placement. ---
+    let mut req = PlaceRequest::by_key(1_000_000, &args.family, &graph_key);
+    req.seed = 42;
+    req.candidates = args.candidates;
+    let a = client.place(req.clone()).expect("place");
+    let b = client.place(req).expect("place");
+    assert!(a.error.is_none() && b.error.is_none(), "determinism probe failed: {a:?}");
+    assert_eq!(a.placement, b.placement, "replayed request must yield the identical placement");
+    assert_eq!(a.predicted_step_time, b.predicted_step_time);
+    println!(
+        "determinism probe ok: {} ops placed, predicted step time {:.6} s",
+        a.placement.as_ref().unwrap().len(),
+        a.predicted_step_time.unwrap()
+    );
+
+    // --- Concurrency ladder. ---
+    let seq = AtomicU64::new(0);
+    let mut phases: Vec<PhaseResult> = Vec::new();
+    for &c in &args.concurrency {
+        let phase = run_phase(
+            addr,
+            &args.family,
+            &graph_key,
+            args.candidates,
+            c,
+            args.requests,
+            recorder.as_ref(),
+            &seq,
+        );
+        let fpr = phase.forwards_per_request.map_or(String::from("n/a"), |f| format!("{f:.3}"));
+        println!(
+            "concurrency {:>3}: {:>7.0} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  errors {}  \
+             forwards/req {fpr}",
+            phase.concurrency, phase.rps, phase.p50_ms, phase.p99_ms, phase.errors
+        );
+        assert_eq!(phase.errors, 0, "zero error replies expected under clean load");
+        if let Some(f) = phase.forwards_per_request {
+            if c >= 4 {
+                assert!(
+                    f < 1.0,
+                    "wave coalescing gate: {f:.3} forwards/request at concurrency {c} (expected < 1)"
+                );
+            }
+        }
+        phases.push(phase);
+    }
+
+    // --- Hot reload under load (in-process mode only). ---
+    let mut hot_reload_versions: Vec<String> = Vec::new();
+    if args.hot_reload {
+        if let Some(dir) = &store_dir {
+            let scale = AgentScale::from_name(&args.scale).unwrap();
+            let state2 = untrained_state(&graph, &machine, scale, 2).expect("second seed state");
+            let dir = dir.clone();
+            let family = args.family.clone();
+            let scale_name = args.scale.clone();
+            let reload_requests = args.requests.min(600);
+            let (mut phase, v2) = std::thread::scope(|s| {
+                let publisher = s.spawn(move || {
+                    // Let the load build up, then swap the policy underneath it.
+                    std::thread::sleep(std::time::Duration::from_millis(120));
+                    publish_state(&dir, &family, &scale_name, &state2).expect("republish")
+                });
+                let phase = run_phase(
+                    addr,
+                    &args.family,
+                    &graph_key,
+                    args.candidates,
+                    8,
+                    reload_requests,
+                    recorder.as_ref(),
+                    &seq,
+                );
+                let v2 = publisher.join().expect("publisher thread");
+                println!("republished {} as version {v2}", args.family);
+                (phase, v2)
+            });
+            assert_eq!(phase.errors, 0, "hot reload must not drop or fail in-flight requests");
+            // A small request budget can drain before the publisher thread even
+            // swaps the file; poll (bounded) until the new version is served so
+            // the gate tests the reload itself, not scheduler timing.
+            if !phase.versions.contains(&v2) {
+                let mut client = Client::connect(addr).expect("connect");
+                let deadline = Instant::now() + std::time::Duration::from_secs(30);
+                loop {
+                    let id = seq.fetch_add(1, Ordering::SeqCst);
+                    let mut req = PlaceRequest::by_key(id, &args.family, &graph_key);
+                    req.candidates = args.candidates;
+                    let resp = client.place(req).expect("round-trip");
+                    assert!(
+                        resp.error.is_none(),
+                        "hot reload poll request failed: {:?}",
+                        resp.error
+                    );
+                    let got = resp.policy_version.expect("versioned reply");
+                    if !phase.versions.contains(&got) {
+                        phase.versions.push(got.clone());
+                    }
+                    if got == v2 {
+                        break;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "daemon never served republished version {v2}, saw {:?}",
+                        phase.versions
+                    );
+                }
+            }
+            assert!(
+                phase.versions.len() >= 2,
+                "expected replies from both policy versions across the swap, saw {:?}",
+                phase.versions
+            );
+            println!(
+                "hot reload ok: {} req at 8 conns, versions {:?}, zero errors",
+                phase.requests, phase.versions
+            );
+            hot_reload_versions = phase.versions;
+        }
+    }
+
+    // --- Optional CI budgets. ---
+    let last = phases.last().expect("at least one phase");
+    if let Some(budget) = args.p99_budget_ms {
+        let worst = phases.iter().map(|p| p.p99_ms).fold(0.0, f64::max);
+        assert!(worst <= budget, "p99 {worst:.3} ms exceeds budget {budget} ms");
+        println!("p99 budget ok: {worst:.3} ms <= {budget} ms");
+    }
+    if let Some(min) = args.min_rps {
+        let best = phases.iter().map(|p| p.rps).fold(0.0, f64::max);
+        assert!(best >= min, "best throughput {best:.0} req/s below --min-rps {min}");
+        println!("throughput floor ok: {best:.0} req/s >= {min}");
+    }
+
+    // --- Artifact. ---
+    let rows: Vec<Value> = phases
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("concurrency", Value::U64(p.concurrency as u64)),
+                ("requests", Value::U64(p.requests)),
+                ("errors", Value::U64(p.errors)),
+                ("elapsed_s", Value::F64(p.elapsed_s)),
+                ("rps", Value::F64(p.rps)),
+                ("p50_ms", Value::F64(p.p50_ms)),
+                ("p99_ms", Value::F64(p.p99_ms)),
+                ("forwards_per_request", p.forwards_per_request.map_or(Value::Null, Value::F64)),
+                (
+                    "versions",
+                    Value::Array(p.versions.iter().map(|v| Value::String(v.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let artifact = obj(vec![
+        ("bench", Value::String("serve_throughput".into())),
+        ("family", Value::String(args.family.clone())),
+        ("graph_ops", Value::U64(graph.len() as u64)),
+        ("scale", Value::String(args.scale.clone())),
+        ("candidates", Value::U64(args.candidates as u64)),
+        ("coalesce_us", Value::U64(args.coalesce_us)),
+        ("mode", Value::String(if args.addr.is_some() { "external" } else { "in-process" }.into())),
+        ("phases", Value::Array(rows)),
+        (
+            "hot_reload_versions",
+            Value::Array(hot_reload_versions.iter().map(|v| Value::String(v.clone())).collect()),
+        ),
+    ]);
+    std::fs::create_dir_all(&args.out).expect("create out dir");
+    let path = args.out.join("BENCH_serve_throughput.json");
+    std::fs::write(&path, serde_json::to_string(&artifact).expect("serialize artifact"))
+        .expect("write artifact");
+    println!("wrote {}", path.display());
+    println!(
+        "summary: best {:.0} req/s, final-phase p99 {:.3} ms, coalescing {} at c={}",
+        phases.iter().map(|p| p.rps).fold(0.0, f64::max),
+        last.p99_ms,
+        last.forwards_per_request.map_or(String::from("n/a"), |f| format!("{f:.3}")),
+        last.concurrency
+    );
+
+    if let Some((server, dir)) = _server_keep.take() {
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -62,6 +62,39 @@ impl EagleAgent {
         agent
     }
 
+    /// Builds the agent for *serving* with already-trained parameters.
+    ///
+    /// Registers the same parameter layout as [`EagleAgent::new`] (construction
+    /// order fixes the `ParamId`s, so a checkpoint's `Params` align) but skips the
+    /// grouper warm start — the scratch values in `params` are placeholders that a
+    /// restored checkpoint overwrites, so the 60 warm-start Adam iterations would
+    /// be wasted work on the serving hot path.
+    pub fn new_for_inference(
+        params: &mut Params,
+        graph: &OpGraph,
+        machine: &Machine,
+        scale: AgentScale,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let features = super::features_tensor(graph);
+        let feat_dim = features.cols();
+        let k = scale.num_groups.min(graph.len());
+        let grouper = Grouper::new(params, "eagle/grouper", feat_dim, scale.grouper_hidden, k, rng);
+        let link = Lstm::new(params, "eagle/link", feat_dim, scale.link_hidden, rng);
+        let devices = super::device_table(machine);
+        let placer = Seq2SeqPlacer::new(
+            params,
+            "eagle/placer",
+            scale.link_hidden,
+            scale.placer_hidden,
+            scale.attn_dim,
+            devices.len(),
+            AttentionMode::Before,
+            rng,
+        );
+        Self { grouper, link, placer, features, devices, num_groups: k }
+    }
+
     /// Warm-starts the grouper to a balanced topological chunking of the graph.
     ///
     /// A randomly initialized feed-forward grouper assigns almost every op to the

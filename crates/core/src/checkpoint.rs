@@ -174,8 +174,10 @@ pub struct TrainerState {
 }
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and plenty for torn-write detection
-/// (this guards against accidents, not adversaries).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// (this guards against accidents, not adversaries). Public so downstream
+/// consumers (the serving policy store) can derive stable content versions
+/// with the same hash the checkpoint header uses.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -36,7 +36,7 @@ mod trainer;
 
 pub use agents::{EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent, PlacerKind};
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, CheckpointError, TrainerState, CHECKPOINT_FILE,
+    fnv1a64, load_checkpoint, save_checkpoint, CheckpointError, TrainerState, CHECKPOINT_FILE,
     CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA_VERSION,
 };
 pub use curve::{Curve, CurvePoint};

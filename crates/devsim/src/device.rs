@@ -56,30 +56,156 @@ impl DeviceId {
     }
 }
 
+/// Validation failure from [`MachineBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// No devices were added.
+    NoDevices,
+    /// More devices than [`DeviceId`] can index (256).
+    TooManyDevices(usize),
+    /// A device has zero memory capacity.
+    ZeroMemory(String),
+    /// A device has non-positive peak FLOP/s.
+    BadPeakFlops(String),
+    /// A device has negative launch overhead.
+    NegativeOverhead(String),
+    /// Link bandwidth must be positive and finite.
+    BadLinkBandwidth(f64),
+    /// Transfer latency must be positive and finite.
+    BadTransferLatency(f64),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::NoDevices => write!(f, "machine has no devices"),
+            MachineError::TooManyDevices(n) => {
+                write!(f, "machine has {n} devices; DeviceId supports at most 256")
+            }
+            MachineError::ZeroMemory(name) => write!(f, "device {name} has zero memory capacity"),
+            MachineError::BadPeakFlops(name) => {
+                write!(f, "device {name} has non-positive peak FLOP/s")
+            }
+            MachineError::NegativeOverhead(name) => {
+                write!(f, "device {name} has negative launch overhead")
+            }
+            MachineError::BadLinkBandwidth(v) => {
+                write!(f, "link bandwidth must be positive and finite, got {v}")
+            }
+            MachineError::BadTransferLatency(v) => {
+                write!(f, "transfer latency must be positive and finite, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Validating builder for [`Machine`], matching the `Environment::builder` style:
+/// stage devices and link parameters, then [`build`](MachineBuilder::build) checks
+/// the configuration (at least one device, positive memory caps, link latency > 0)
+/// before a `Machine` exists at all.
+#[derive(Debug, Clone, Default)]
+pub struct MachineBuilder {
+    devices: Vec<DeviceSpec>,
+    link_bandwidth: Option<f64>,
+    transfer_latency: Option<f64>,
+}
+
+impl MachineBuilder {
+    /// Adds an arbitrary device (placement order = [`DeviceId`] order).
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push(spec);
+        self
+    }
+
+    /// Adds a CPU device named `/cpu:<n>` (numbered among CPUs added so far).
+    pub fn cpu(self, peak_flops: f64, mem_bytes: u64, launch_overhead: f64) -> Self {
+        let n = self.devices.iter().filter(|d| d.kind == DeviceKind::Cpu).count();
+        self.device(DeviceSpec {
+            name: format!("/cpu:{n}"),
+            kind: DeviceKind::Cpu,
+            peak_flops,
+            mem_bytes,
+            launch_overhead,
+        })
+    }
+
+    /// Adds a GPU device named `/gpu:<n>` (numbered among GPUs added so far).
+    pub fn gpu(self, peak_flops: f64, mem_bytes: u64, launch_overhead: f64) -> Self {
+        let n = self.devices.iter().filter(|d| d.kind == DeviceKind::Gpu).count();
+        self.device(DeviceSpec {
+            name: format!("/gpu:{n}"),
+            kind: DeviceKind::Gpu,
+            peak_flops,
+            mem_bytes,
+            launch_overhead,
+        })
+    }
+
+    /// Effective point-to-point bandwidth in bytes/s.
+    pub fn link_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        self.link_bandwidth = Some(bytes_per_s);
+        self
+    }
+
+    /// Per-transfer fixed latency in seconds.
+    pub fn transfer_latency(mut self, seconds: f64) -> Self {
+        self.transfer_latency = Some(seconds);
+        self
+    }
+
+    /// Validates the staged configuration and produces the machine.
+    pub fn build(self) -> Result<Machine, MachineError> {
+        if self.devices.is_empty() {
+            return Err(MachineError::NoDevices);
+        }
+        if self.devices.len() > 256 {
+            return Err(MachineError::TooManyDevices(self.devices.len()));
+        }
+        for d in &self.devices {
+            if d.mem_bytes == 0 {
+                return Err(MachineError::ZeroMemory(d.name.clone()));
+            }
+            if d.peak_flops <= 0.0 || !d.peak_flops.is_finite() {
+                return Err(MachineError::BadPeakFlops(d.name.clone()));
+            }
+            if d.launch_overhead < 0.0 || !d.launch_overhead.is_finite() {
+                return Err(MachineError::NegativeOverhead(d.name.clone()));
+            }
+        }
+        let bw = self.link_bandwidth.unwrap_or(12e9);
+        if bw <= 0.0 || !bw.is_finite() {
+            return Err(MachineError::BadLinkBandwidth(bw));
+        }
+        let lat = self.transfer_latency.unwrap_or(250e-6);
+        if lat <= 0.0 || !lat.is_finite() {
+            return Err(MachineError::BadTransferLatency(lat));
+        }
+        Ok(Machine { devices: self.devices, link_bandwidth: bw, transfer_latency: lat })
+    }
+}
+
 impl Machine {
+    /// Starts a validating [`MachineBuilder`] (the one way to construct a machine).
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::default()
+    }
+
     /// The paper's evaluation machine: 4x P100 (16 GB) + host CPU (125 GB RAM).
     pub fn paper_machine() -> Self {
         let gib = 1u64 << 30;
-        let mut devices = vec![DeviceSpec {
-            name: "/cpu:0".into(),
-            kind: DeviceKind::Cpu,
-            peak_flops: 0.6e12,
-            mem_bytes: 125 * gib,
-            launch_overhead: 10e-6,
-        }];
-        for i in 0..4 {
-            devices.push(DeviceSpec {
-                name: format!("/gpu:{i}"),
-                kind: DeviceKind::Gpu,
-                peak_flops: 9.3e12,
-                mem_bytes: 16 * gib,
-                launch_overhead: 30e-6,
-            });
+        let mut b = Machine::builder().cpu(0.6e12, 125 * gib, 10e-6);
+        for _ in 0..4 {
+            b = b.gpu(9.3e12, 16 * gib, 30e-6);
         }
         // The latency covers TF's send/recv rendezvous per cross-device edge; it is
         // what makes scattering tiny ops across devices unprofitable (and why every
         // approach converges to one GPU for batch-1 Inception-V3).
-        Self { devices, link_bandwidth: 12e9, transfer_latency: 250e-6 }
+        b.link_bandwidth(12e9)
+            .transfer_latency(250e-6)
+            .build()
+            .expect("paper machine is a valid configuration")
     }
 
     /// A reduced two-GPU machine for tests and quick experiments.
@@ -203,6 +329,30 @@ mod tests {
         assert!((m.transfer_time(0) - m.transfer_latency).abs() < 1e-12);
         // 12 MB at 12 GB/s = 1 ms + latency.
         assert!((m.transfer_time(12_000_000) - (250e-6 + 1e-3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let gib = 1u64 << 30;
+        // Empty machine rejected.
+        assert_eq!(Machine::builder().build().unwrap_err(), MachineError::NoDevices);
+        // Zero memory cap rejected.
+        let err = Machine::builder().gpu(1e12, 0, 1e-6).build().unwrap_err();
+        assert!(matches!(err, MachineError::ZeroMemory(_)));
+        // Non-positive link latency rejected.
+        let err =
+            Machine::builder().cpu(1e12, gib, 1e-6).transfer_latency(0.0).build().unwrap_err();
+        assert!(matches!(err, MachineError::BadTransferLatency(_)));
+        // Non-positive bandwidth rejected.
+        let err = Machine::builder().cpu(1e12, gib, 1e-6).link_bandwidth(-1.0).build().unwrap_err();
+        assert!(matches!(err, MachineError::BadLinkBandwidth(_)));
+        // A valid staged config builds, with defaults for unset link parameters.
+        let m = Machine::builder().cpu(1e12, gib, 1e-6).gpu(9e12, gib, 3e-5).build().unwrap();
+        assert_eq!(m.num_devices(), 2);
+        assert_eq!(m.devices[1].name, "/gpu:0");
+        assert!(m.link_bandwidth > 0.0 && m.transfer_latency > 0.0);
+        // Display strings are stable.
+        assert_eq!(MachineError::NoDevices.to_string(), "machine has no devices");
     }
 
     #[test]

@@ -407,7 +407,8 @@ impl Environment {
         let n_ops = self.graph.len();
         let n_dev = self.machine.num_devices();
         if let Some((_, p)) = &state.best {
-            p.validate(&self.graph, &self.machine).map_err(EnvStateError::BadPlacement)?;
+            p.validate(&self.graph, &self.machine)
+                .map_err(|e| EnvStateError::BadPlacement(e.to_string()))?;
         }
         let entries: Vec<(Box<[u8]>, BaseEval)> = state
             .cache_entries

@@ -35,12 +35,14 @@ pub mod trace;
 
 pub use benchmarks::{calibrate, Benchmark, PaperNumbers};
 pub use cache::{BaseEval, CacheStats, PlacementCache};
-pub use device::{efficiency, DeviceId, DeviceKind, DeviceSpec, Machine};
+pub use device::{
+    efficiency, DeviceId, DeviceKind, DeviceSpec, Machine, MachineBuilder, MachineError,
+};
 pub use eagle_obs::resolve_workers;
 pub use engine::{OpSlot, Schedule, TransferSlot};
 pub use env::{
     CacheEntryState, EnvError, EnvSnapshot, EnvState, EnvStateError, Environment,
     EnvironmentBuilder, MeasureConfig, Measurement, RngState, DEFAULT_CACHE_CAPACITY,
 };
-pub use placement::Placement;
+pub use placement::{Placement, PlacementError};
 pub use sim::{simulate, simulate_recorded, SimOutcome, StepStats};

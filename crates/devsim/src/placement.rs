@@ -5,6 +5,40 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::{DeviceId, Machine};
 
+/// Why a placement does not fit a graph/machine pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The placement covers a different number of ops than the graph has.
+    LengthMismatch {
+        /// Ops covered by the placement.
+        placement: usize,
+        /// Ops in the graph.
+        graph: usize,
+    },
+    /// An op is assigned to a device index the machine does not have.
+    UnknownDevice {
+        /// The offending op index.
+        op: usize,
+        /// The nonexistent device index.
+        device: u8,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::LengthMismatch { placement, graph } => {
+                write!(f, "placement covers {placement} ops but graph has {graph}")
+            }
+            PlacementError::UnknownDevice { op, device } => {
+                write!(f, "op {op} placed on nonexistent device {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// A full device assignment for a graph: `device[i]` is where op `i` runs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Placement {
@@ -84,17 +118,16 @@ impl Placement {
 
     /// Checks the placement covers exactly the graph's ops and uses only devices
     /// that exist on the machine.
-    pub fn validate(&self, graph: &OpGraph, machine: &Machine) -> Result<(), String> {
+    pub fn validate(&self, graph: &OpGraph, machine: &Machine) -> Result<(), PlacementError> {
         if self.devices.len() != graph.len() {
-            return Err(format!(
-                "placement covers {} ops but graph has {}",
-                self.devices.len(),
-                graph.len()
-            ));
+            return Err(PlacementError::LengthMismatch {
+                placement: self.devices.len(),
+                graph: graph.len(),
+            });
         }
         for (i, d) in self.devices.iter().enumerate() {
             if d.index() >= machine.num_devices() {
-                return Err(format!("op {i} placed on nonexistent device {}", d.0));
+                return Err(PlacementError::UnknownDevice { op: i, device: d.0 });
             }
         }
         Ok(())

@@ -1,0 +1,43 @@
+//! # eagle-serve
+//!
+//! Placement-as-a-service: a long-lived daemon that turns the trained EAGLE
+//! placer into something clients hit over a socket, behind a versioned public
+//! API. See DESIGN.md's "Serving path" section for the architecture argument.
+//!
+//! * [`api`] — the versioned wire schema (`schema_version: 1`): typed
+//!   requests/replies shared by the daemon, the [`Client`], the bench CLI, and
+//!   tests.
+//! * [`EagleError`] — the unified error hierarchy folding `EnvError`,
+//!   `CheckpointError`, `MachineError`, `PlacementError` and the serve-side
+//!   failures into one crate-public enum with typed wire projections.
+//! * [`PolicyStore`] — checkpoint-backed policies keyed by graph family, with
+//!   graceful hot-reload when a newer checkpoint appears on disk.
+//! * [`Router`] — coalesces concurrent requests into waves; one batched
+//!   `sample_batch` + `decode_batch` pair per wave group (< 1 forward per
+//!   request at concurrency ≥ 2).
+//! * [`Server`] / [`Client`] — the newline-delimited-JSON TCP front end.
+//!
+//! Telemetry (all through [`eagle_obs::Recorder`]): counters `serve.requests`,
+//! `serve.errors`, `serve.infeasible`, `serve.waves`, `serve.forwards`,
+//! `serve.graphs_registered`, `serve.policy_loads`, `serve.policy_reloads`,
+//! `serve.policy_reload_errors`; gauge `serve.queue_depth`; histograms
+//! `serve.wave_size` and `serve.latency_us` (p50/p99 come from
+//! [`eagle_obs::HistogramSnapshot`]).
+
+#![warn(missing_docs)]
+
+pub mod api;
+mod client;
+mod error;
+mod router;
+mod server;
+mod store;
+
+pub use client::Client;
+pub use error::EagleError;
+pub use router::{Router, RouterConfig};
+pub use server::{Server, ServerConfig};
+pub use store::{
+    publish_checkpoint, publish_state, untrained_state, PolicyEntry, PolicyManifest, PolicyStore,
+    MANIFEST_FILE, MANIFEST_SCHEMA_VERSION,
+};

@@ -1,0 +1,564 @@
+//! The request router: coalesces concurrent placement requests into waves and
+//! answers each wave's policy work with batched forwards.
+//!
+//! Connection threads validate and [`submit`](Router::submit) requests into a
+//! shared queue; a single router thread drains the queue into a **wave**,
+//! groups the wave by (family, graph, machine), and answers each group with
+//! exactly one `sample_batch` and one `decode_batch` forward — the batched-first
+//! policy API's contract makes this bit-identical to serving each request
+//! alone, because every candidate consumes only its own seeded RNG stream. So
+//! at concurrency ≥ 2 the daemon does *less than one* forward per request
+//! (`serve.forwards / serve.requests < 1`), which is the whole point of wave
+//! batching.
+//!
+//! Each request contributes `candidates` episodes to its group's batch; the
+//! sampled placements are simulated (in parallel across the wave) and the best
+//! valid one — minimum predicted step time, ties to the lowest candidate index
+//! — is returned with its predicted time and the producing policy version. A
+//! request whose every candidate OOMs gets a typed `infeasible` reply.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use eagle_core::{fnv1a64, EagleAgent, PlacementAgent};
+use eagle_devsim::{simulate, Machine, Placement};
+use eagle_obs::{resolve_workers, Recorder};
+use eagle_opgraph::OpGraph;
+use eagle_rl::{fork_streams, StochasticPolicy};
+use eagle_tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::api::{PlaceRequest, PlaceResponse, API_SCHEMA_VERSION};
+use crate::error::EagleError;
+use crate::store::{PolicyEntry, PolicyStore};
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Extra time the router waits after the first pending request before
+    /// cutting a wave, letting concurrent arrivals pile in. Zero disables the
+    /// wait (waves still form naturally while a previous wave computes).
+    pub coalesce: Duration,
+    /// Maximum requests per wave.
+    pub max_wave: usize,
+    /// Candidate count used when a request sends `candidates: 0`.
+    pub default_candidates: u32,
+    /// Upper bound on per-request `candidates` (typed error beyond).
+    pub max_candidates: u32,
+    /// Worker threads for candidate simulation (0 = auto).
+    pub sim_workers: usize,
+    /// Registered-graph slots kept (FIFO eviction).
+    pub graph_capacity: usize,
+    /// Built serving agents kept, keyed by (family, version, graph, machine).
+    pub agent_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            coalesce: Duration::from_micros(200),
+            max_wave: 64,
+            default_candidates: 1,
+            max_candidates: 16,
+            sim_workers: 0,
+            graph_capacity: 256,
+            agent_capacity: 32,
+        }
+    }
+}
+
+/// A validated request waiting for its wave.
+struct Pending {
+    req: PlaceRequest,
+    candidates: u32,
+    graph: Arc<OpGraph>,
+    graph_fp: u64,
+    machine: Arc<Machine>,
+    machine_fp: u64,
+    reply: mpsc::Sender<PlaceResponse>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct GraphRegistry {
+    by_key: HashMap<String, Arc<OpGraph>>,
+    order: VecDeque<String>,
+}
+
+/// A serving agent rebuilt around a policy's parameters for one
+/// (graph, machine) pair; cached because construction walks the whole graph.
+struct ServingAgent {
+    agent: EagleAgent,
+    draws: usize,
+}
+
+/// The shared router. Connection threads call [`submit`](Self::submit) /
+/// [`register_graph`](Self::register_graph); one thread runs [`run`](Self::run).
+pub struct Router {
+    queue: Mutex<VecDeque<Pending>>,
+    cv: Condvar,
+    store: Arc<PolicyStore>,
+    graphs: Mutex<GraphRegistry>,
+    default_machine: (Arc<Machine>, u64),
+    cfg: RouterConfig,
+    recorder: Recorder,
+    stop: AtomicBool,
+}
+
+fn machine_fingerprint(machine: &Machine) -> u64 {
+    let json = serde_json::to_string(machine).expect("machine serializes");
+    fnv1a64(json.as_bytes())
+}
+
+fn graph_fingerprint(graph: &OpGraph) -> u64 {
+    fnv1a64(graph.to_json().as_bytes())
+}
+
+/// Re-validates a wire-supplied machine through the builder, yielding the same
+/// typed errors local construction would.
+fn validated_machine(machine: Machine) -> Result<Machine, EagleError> {
+    let mut b = Machine::builder()
+        .link_bandwidth(machine.link_bandwidth)
+        .transfer_latency(machine.transfer_latency);
+    for d in machine.devices {
+        b = b.device(d);
+    }
+    Ok(b.build()?)
+}
+
+impl Router {
+    /// Builds a router serving policies from `store`.
+    pub fn new(store: Arc<PolicyStore>, cfg: RouterConfig, recorder: Recorder) -> Arc<Self> {
+        let machine = Machine::paper_machine();
+        let fp = machine_fingerprint(&machine);
+        Arc::new(Self {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            store,
+            graphs: Mutex::new(GraphRegistry::default()),
+            default_machine: (Arc::new(machine), fp),
+            cfg,
+            recorder,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The router's telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Validates and registers `graph`, returning its content-addressed key.
+    /// Registering the same graph twice returns the same key.
+    pub fn register_graph(&self, graph: OpGraph) -> Result<String, EagleError> {
+        if graph.is_empty() {
+            return Err(EagleError::BadRequest("graph has no nodes".into()));
+        }
+        if !graph.is_acyclic() {
+            return Err(EagleError::BadRequest("graph has a cycle".into()));
+        }
+        let key = format!("{:016x}", graph_fingerprint(&graph));
+        let mut reg = self.graphs.lock().expect("graph registry lock");
+        if !reg.by_key.contains_key(&key) {
+            while reg.order.len() >= self.cfg.graph_capacity {
+                if let Some(old) = reg.order.pop_front() {
+                    reg.by_key.remove(&old);
+                }
+            }
+            reg.by_key.insert(key.clone(), Arc::new(graph));
+            reg.order.push_back(key.clone());
+            self.recorder.add("serve.graphs_registered", 1);
+        }
+        Ok(key)
+    }
+
+    /// Validates `req` and enqueues it for the next wave. Returns the channel
+    /// the (single) reply arrives on; validation failures are returned
+    /// immediately instead of occupying wave capacity.
+    pub fn submit(&self, req: PlaceRequest) -> Result<mpsc::Receiver<PlaceResponse>, EagleError> {
+        let candidates = match req.candidates {
+            0 => self.cfg.default_candidates,
+            k if k <= self.cfg.max_candidates => k,
+            k => {
+                return Err(EagleError::BadRequest(format!(
+                    "candidates {k} exceeds the server cap {}",
+                    self.cfg.max_candidates
+                )))
+            }
+        };
+        let (graph, graph_fp) = match (&req.graph, &req.graph_key) {
+            (Some(_), Some(_)) => {
+                return Err(EagleError::BadRequest(
+                    "set either `graph` or `graph_key`, not both".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(EagleError::BadRequest("one of `graph`/`graph_key` required".into()))
+            }
+            (Some(g), None) => {
+                if g.is_empty() {
+                    return Err(EagleError::BadRequest("graph has no nodes".into()));
+                }
+                if !g.is_acyclic() {
+                    return Err(EagleError::BadRequest("graph has a cycle".into()));
+                }
+                (Arc::new(g.clone()), graph_fingerprint(g))
+            }
+            (None, Some(key)) => {
+                let reg = self.graphs.lock().expect("graph registry lock");
+                match reg.by_key.get(key) {
+                    Some(g) => {
+                        let fp = u64::from_str_radix(key, 16)
+                            .expect("registered keys are hex fingerprints");
+                        (g.clone(), fp)
+                    }
+                    None => return Err(EagleError::UnknownGraphKey(key.clone())),
+                }
+            }
+        };
+        let (machine, machine_fp) = match &req.machine {
+            None => (self.default_machine.0.clone(), self.default_machine.1),
+            Some(m) => {
+                let m = validated_machine(m.clone())?;
+                let fp = machine_fingerprint(&m);
+                (Arc::new(m), fp)
+            }
+        };
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            req,
+            candidates,
+            graph,
+            graph_fp,
+            machine,
+            machine_fp,
+            reply: tx,
+            enqueued: Instant::now(),
+        };
+        {
+            let mut q = self.queue.lock().expect("router queue lock");
+            q.push_back(pending);
+            self.recorder.gauge("serve.queue_depth", q.len() as f64);
+        }
+        self.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Asks the router loop to exit after the current wave.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// The router loop: runs until [`shutdown`](Self::shutdown). Call from a
+    /// dedicated thread.
+    pub fn run(&self) {
+        let sim_workers = resolve_workers(self.cfg.sim_workers);
+        let mut agents = AgentCache::new(self.cfg.agent_capacity);
+        loop {
+            let wave = {
+                let mut q = self.queue.lock().expect("router queue lock");
+                while q.is_empty() {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (guard, _) =
+                        self.cv.wait_timeout(q, Duration::from_millis(50)).expect("router wait");
+                    q = guard;
+                }
+                if !self.cfg.coalesce.is_zero() {
+                    // Let concurrent arrivals join the wave.
+                    drop(q);
+                    std::thread::sleep(self.cfg.coalesce);
+                    q = self.queue.lock().expect("router queue lock");
+                }
+                let n = q.len().min(self.cfg.max_wave);
+                let wave: Vec<Pending> = q.drain(..n).collect();
+                self.recorder.gauge("serve.queue_depth", q.len() as f64);
+                wave
+            };
+            if wave.is_empty() {
+                continue;
+            }
+            self.recorder.add("serve.waves", 1);
+            self.recorder.observe("serve.wave_size", wave.len() as f64);
+            self.process_wave(wave, &mut agents, sim_workers);
+        }
+    }
+
+    /// Answers one wave: group by (family, graph, machine), one batched
+    /// sample + decode per group, wave-wide parallel simulation.
+    fn process_wave(&self, wave: Vec<Pending>, agents: &mut AgentCache, sim_workers: usize) {
+        let mut groups: HashMap<(String, u64, u64), Vec<Pending>> = HashMap::new();
+        for p in wave {
+            groups.entry((p.req.family.clone(), p.graph_fp, p.machine_fp)).or_default().push(p);
+        }
+        for ((family, _, _), group) in groups {
+            self.process_group(&family, group, agents, sim_workers);
+        }
+    }
+
+    fn process_group(
+        &self,
+        family: &str,
+        group: Vec<Pending>,
+        agents: &mut AgentCache,
+        sim_workers: usize,
+    ) {
+        let entry = match self.store.get(family) {
+            Ok(e) => e,
+            Err(e) => return self.fail_group(group, &e),
+        };
+        let serving = match agents.get(
+            &entry,
+            &group[0].graph,
+            group[0].graph_fp,
+            &group[0].machine,
+            group[0].machine_fp,
+        ) {
+            Ok(a) => a,
+            Err(e) => return self.fail_group(group, &e),
+        };
+
+        // Per-candidate RNG streams, forked from each request's own seed: the
+        // results depend only on the request, never on its wave-mates.
+        let mut streams: Vec<ChaCha8Rng> = Vec::new();
+        let mut spans = Vec::with_capacity(group.len());
+        for p in &group {
+            let mut master = ChaCha8Rng::seed_from_u64(p.req.seed);
+            let forked = fork_streams(&mut master, serving.draws, p.candidates as usize);
+            spans.push((streams.len(), forked.len()));
+            streams.extend(forked);
+        }
+        let mut stream_refs: Vec<&mut dyn rand::RngCore> =
+            streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
+
+        // The two batched forwards for the whole group.
+        let sampled = serving.agent.sample_batch(&entry.params, &mut stream_refs);
+        self.recorder.add("serve.forwards", 1);
+        let actions: Vec<Vec<usize>> = sampled.into_iter().map(|(a, _)| a).collect();
+        let placements = serving.agent.decode_batch(&entry.params, &actions);
+        self.recorder.add("serve.forwards", 1);
+
+        // Predicted step times for every candidate, simulated across workers.
+        let graph = &group[0].graph;
+        let machine = &group[0].machine;
+        let times = simulate_all(graph, machine, &placements, sim_workers);
+
+        for (p, (start, count)) in group.iter().zip(&spans) {
+            let mut best: Option<(f64, usize)> = None;
+            for (c, t) in times.iter().enumerate().skip(*start).take(*count) {
+                if let Some(t) = *t {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, c));
+                    }
+                }
+            }
+            let resp = match best {
+                Some((t, c)) => PlaceResponse {
+                    schema_version: API_SCHEMA_VERSION,
+                    id: p.req.id,
+                    placement: Some(placements[c].devices().iter().map(|d| d.0).collect()),
+                    predicted_step_time: Some(t),
+                    policy_version: Some(entry.version.clone()),
+                    error: None,
+                },
+                None => {
+                    self.recorder.add("serve.infeasible", 1);
+                    PlaceResponse::failure(
+                        p.req.id,
+                        &EagleError::Infeasible(format!(
+                            "all {count} sampled candidates exceed device memory"
+                        )),
+                    )
+                }
+            };
+            self.finish(p, resp);
+        }
+    }
+
+    fn fail_group(&self, group: Vec<Pending>, err: &EagleError) {
+        for p in group {
+            let resp = PlaceResponse::failure(p.req.id, err);
+            self.finish(&p, resp);
+        }
+    }
+
+    fn finish(&self, p: &Pending, resp: PlaceResponse) {
+        self.recorder.add("serve.requests", 1);
+        if resp.error.is_some() {
+            self.recorder.add("serve.errors", 1);
+        }
+        self.recorder.observe("serve.latency_us", p.enqueued.elapsed().as_secs_f64() * 1e6);
+        // A gone client (disconnected while queued) is not a router error.
+        let _ = p.reply.send(resp);
+    }
+}
+
+/// Simulates every placement, striped across up to `workers` threads.
+fn simulate_all(
+    graph: &OpGraph,
+    machine: &Machine,
+    placements: &[Placement],
+    workers: usize,
+) -> Vec<Option<f64>> {
+    let w = workers.min(placements.len()).max(1);
+    if w == 1 {
+        return placements.iter().map(|p| simulate(graph, machine, p).step_time()).collect();
+    }
+    let chunk = placements.len().div_ceil(w);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = placements
+            .chunks(chunk)
+            .map(|ps| {
+                s.spawn(move |_| {
+                    ps.iter().map(|p| simulate(graph, machine, p).step_time()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("sim worker")).collect()
+    })
+    .expect("sim scope")
+}
+
+/// FIFO-bounded cache of built serving agents.
+struct AgentCache {
+    capacity: usize,
+    map: HashMap<(String, String, u64, u64), Arc<ServingAgent>>,
+    order: VecDeque<(String, String, u64, u64)>,
+}
+
+impl AgentCache {
+    fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// The serving agent for (policy entry, graph, machine), built and
+    /// layout-validated on first use.
+    fn get(
+        &mut self,
+        entry: &PolicyEntry,
+        graph: &OpGraph,
+        graph_fp: u64,
+        machine: &Machine,
+        machine_fp: u64,
+    ) -> Result<Arc<ServingAgent>, EagleError> {
+        let key = (entry.family.clone(), entry.version.clone(), graph_fp, machine_fp);
+        if let Some(a) = self.map.get(&key) {
+            return Ok(a.clone());
+        }
+        let serving = Arc::new(build_serving_agent(entry, graph, machine)?);
+        while self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.map.insert(key.clone(), serving.clone());
+        self.order.push_back(key);
+        Ok(serving)
+    }
+}
+
+/// Rebuilds the agent architecture around `entry.params` for one
+/// (graph, machine) pair and verifies the parameter layouts agree — parameter
+/// ids align by construction order, so equal (name, shape) sequences mean the
+/// checkpoint's tensors drop in exactly.
+fn build_serving_agent(
+    entry: &PolicyEntry,
+    graph: &OpGraph,
+    machine: &Machine,
+) -> Result<ServingAgent, EagleError> {
+    let mut scratch = Params::new();
+    // The constructor RNG only writes initial values that entry.params replace;
+    // any seed yields the same layout.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let agent = EagleAgent::new_for_inference(&mut scratch, graph, machine, entry.scale, &mut rng);
+    if scratch.len() != entry.params.len() {
+        return Err(EagleError::PolicyMismatch(format!(
+            "policy `{}` has {} tensors but this graph/machine needs {}",
+            entry.family,
+            entry.params.len(),
+            scratch.len()
+        )));
+    }
+    for id in scratch.ids() {
+        let (want_name, want) = (scratch.name(id), scratch.get(id));
+        let (have_name, have) = (entry.params.name(id), entry.params.get(id));
+        if want_name != have_name || want.rows() != have.rows() || want.cols() != have.cols() {
+            return Err(EagleError::PolicyMismatch(format!(
+                "policy `{}` tensor {have_name} ({}x{}) does not fit required {want_name} ({}x{}); \
+                 was it trained for a different graph size or device count?",
+                entry.family,
+                have.rows(),
+                have.cols(),
+                want.rows(),
+                want.cols()
+            )));
+        }
+    }
+    let draws = agent.rng_draws_per_sample();
+    Ok(ServingAgent { agent, draws })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{publish_state, untrained_state};
+    use eagle_core::AgentScale;
+    use eagle_devsim::Benchmark;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("eagle-serve-router-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn serve_setup(name: &str) -> (Arc<Router>, Arc<OpGraph>, Machine, String) {
+        let root = tmp(name);
+        let machine = Machine::small_machine();
+        let graph = Benchmark::InceptionV3.graph_for(&machine);
+        let state = untrained_state(&graph, &machine, AgentScale::tiny(), 5).unwrap();
+        publish_state(&root, "fam", "tiny", &state).unwrap();
+        let store = Arc::new(PolicyStore::open(&root, Recorder::new()));
+        let router = Router::new(store, RouterConfig::default(), Recorder::new());
+        (router, Arc::new(graph), machine, "fam".to_string())
+    }
+
+    #[test]
+    fn submit_validates_before_queueing() {
+        let (router, graph, _machine, family) = serve_setup("validate");
+        // Neither graph nor key.
+        let mut req = PlaceRequest::by_key(1, &family, "0000000000000000");
+        req.graph_key = None;
+        assert!(matches!(router.submit(req), Err(EagleError::BadRequest(_))));
+        // Unknown key.
+        let req = PlaceRequest::by_key(2, &family, "ffffffffffffffff");
+        assert!(matches!(router.submit(req), Err(EagleError::UnknownGraphKey(_))));
+        // Over the candidate cap.
+        let mut req = PlaceRequest::inline(3, &family, (*graph).clone());
+        req.candidates = 10_000;
+        assert!(matches!(router.submit(req), Err(EagleError::BadRequest(_))));
+        // Invalid wire machine.
+        let mut req = PlaceRequest::inline(4, &family, (*graph).clone());
+        let mut m = Machine::small_machine();
+        m.transfer_latency = 0.0;
+        req.machine = Some(m);
+        assert!(matches!(router.submit(req), Err(EagleError::Machine(_))));
+    }
+
+    #[test]
+    fn register_graph_is_content_addressed() {
+        let (router, graph, _, _) = serve_setup("register");
+        let k1 = router.register_graph((*graph).clone()).unwrap();
+        let k2 = router.register_graph((*graph).clone()).unwrap();
+        assert_eq!(k1, k2);
+        assert!(matches!(
+            router.register_graph(OpGraph::new("empty")),
+            Err(EagleError::BadRequest(_))
+        ));
+    }
+}

@@ -6,4 +6,9 @@ pub use eagle_obs as obs;
 pub use eagle_opgraph as opgraph;
 pub use eagle_partition as partition;
 pub use eagle_rl as rl;
+pub use eagle_serve as serve;
 pub use eagle_tensor as tensor;
+
+// The serving-era public API surface, re-exported at the crate root: the
+// versioned wire schema and the unified error hierarchy.
+pub use eagle_serve::{api, EagleError};

@@ -1,0 +1,174 @@
+//! Golden test pinning the serving wire schema (version 1).
+//!
+//! Clients in other languages speak this protocol by constructing JSON lines
+//! by hand, so each message's `type` tag, its field names, and their JSON
+//! types are a public contract: any change must bump
+//! `eagle::api::API_SCHEMA_VERSION` and update this test deliberately.
+
+use eagle::api::{
+    self, ApiError, ErrorCode, PlaceRequest, PlaceResponse, RegisterGraphRequest,
+    RegisterGraphResponse, Request, Response, API_SCHEMA_VERSION,
+};
+use eagle::devsim::Machine;
+use eagle::opgraph::{OpGraph, OpKind, OpNode, Phase};
+use eagle::EagleError;
+use serde_json::Value;
+
+/// The exact field names of a JSON object, in serialization order.
+fn keys(v: &Value) -> Vec<&str> {
+    match v {
+        Value::Object(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("every wire message is an object, got {other:?}"),
+    }
+}
+
+/// A two-op graph exercising the inline-graph wire path.
+fn tiny_graph() -> OpGraph {
+    let mut g = OpGraph::new("wire_test");
+    let a = g.add_node(OpNode::new("a", OpKind::MatMul, Phase::Forward));
+    let b = g.add_node(OpNode::new("b", OpKind::Softmax, Phase::Forward));
+    g.add_edge(a, b);
+    g
+}
+
+#[test]
+fn wire_schema_v1_is_pinned() {
+    assert_eq!(API_SCHEMA_VERSION, 1, "schema changes must update this golden test");
+
+    // `place` request: every field present on the wire, `null` for unset.
+    let mut req = PlaceRequest::inline(7, "inception_v3", tiny_graph());
+    req.machine = Some(Machine::small_machine());
+    let line = api::encode_request(&Request::Place(req));
+    let v: Value = serde_json::from_str(&line).expect("wire line is JSON");
+    assert_eq!(
+        keys(&v),
+        vec![
+            "type",
+            "schema_version",
+            "id",
+            "family",
+            "graph",
+            "graph_key",
+            "machine",
+            "candidates",
+            "seed"
+        ]
+    );
+    assert_eq!(v["type"].as_str(), Some("place"));
+    assert_eq!(v["schema_version"].as_u64(), Some(API_SCHEMA_VERSION));
+    assert_eq!(v["id"].as_u64(), Some(7));
+    assert_eq!(v["family"].as_str(), Some("inception_v3"));
+    assert!(matches!(v["graph_key"], Value::Null), "unset optionals serialize as null");
+    // The embedded machine's shape is part of the contract too.
+    assert_eq!(keys(&v["machine"]), vec!["devices", "link_bandwidth", "transfer_latency"]);
+    let device = &v["machine"]["devices"][0];
+    assert_eq!(keys(device), vec!["name", "kind", "peak_flops", "mem_bytes", "launch_overhead"]);
+    // And the embedded graph's top level.
+    assert_eq!(keys(&v["graph"]), vec!["model_name", "nodes", "succs", "preds"]);
+
+    // `place_result` reply (success shape).
+    let resp = Response::Place(PlaceResponse {
+        schema_version: API_SCHEMA_VERSION,
+        id: 7,
+        placement: Some(vec![0, 1]),
+        predicted_step_time: Some(0.25),
+        policy_version: Some("00ff00ff00ff00ff".into()),
+        error: None,
+    });
+    let v: Value = serde_json::from_str(&api::encode_response(&resp)).unwrap();
+    assert_eq!(
+        keys(&v),
+        vec![
+            "type",
+            "schema_version",
+            "id",
+            "placement",
+            "predicted_step_time",
+            "policy_version",
+            "error"
+        ]
+    );
+    assert_eq!(v["type"].as_str(), Some("place_result"));
+    assert!(matches!(v["error"], Value::Null));
+    assert!(v["predicted_step_time"].as_f64().is_some());
+
+    // `place_result` reply (error shape): result fields null, error typed.
+    let resp =
+        Response::Place(PlaceResponse::failure(3, &EagleError::UnknownFamily("gnmt".into())));
+    let v: Value = serde_json::from_str(&api::encode_response(&resp)).unwrap();
+    assert!(matches!(v["placement"], Value::Null));
+    assert_eq!(keys(&v["error"]), vec!["code", "message"]);
+    assert_eq!(v["error"]["code"].as_str(), Some("UnknownFamily"));
+
+    // `register_graph` request and reply.
+    let req = Request::RegisterGraph(RegisterGraphRequest {
+        schema_version: API_SCHEMA_VERSION,
+        id: 11,
+        graph: tiny_graph(),
+    });
+    let v: Value = serde_json::from_str(&api::encode_request(&req)).unwrap();
+    assert_eq!(keys(&v), vec!["type", "schema_version", "id", "graph"]);
+    assert_eq!(v["type"].as_str(), Some("register_graph"));
+
+    let resp = Response::RegisterGraph(RegisterGraphResponse {
+        schema_version: API_SCHEMA_VERSION,
+        id: 11,
+        graph_key: Some("5088e3825edbfbd1".into()),
+        error: None,
+    });
+    let v: Value = serde_json::from_str(&api::encode_response(&resp)).unwrap();
+    assert_eq!(keys(&v), vec!["type", "schema_version", "id", "graph_key", "error"]);
+    assert_eq!(v["type"].as_str(), Some("register_graph_result"));
+}
+
+#[test]
+fn error_codes_are_pinned() {
+    // The `code` strings clients branch on; renaming any is a schema break.
+    let pinned = [
+        (ErrorCode::Protocol, "Protocol"),
+        (ErrorCode::SchemaVersion, "SchemaVersion"),
+        (ErrorCode::BadRequest, "BadRequest"),
+        (ErrorCode::UnknownFamily, "UnknownFamily"),
+        (ErrorCode::UnknownGraphKey, "UnknownGraphKey"),
+        (ErrorCode::PolicyMismatch, "PolicyMismatch"),
+        (ErrorCode::Infeasible, "Infeasible"),
+        (ErrorCode::Internal, "Internal"),
+    ];
+    for (code, name) in pinned {
+        let err = ApiError { code, message: "m".into() };
+        let v = serde_json::to_value(&err);
+        assert_eq!(v["code"].as_str(), Some(name), "ErrorCode::{name} wire string");
+    }
+}
+
+#[test]
+fn wire_roundtrip_is_stable() {
+    // Encoding a decoded line reproduces it byte for byte, pinning the full
+    // nested OpGraph / Machine serialization (not just the top-level keys).
+    let mut req = PlaceRequest::inline(42, "bert_base", tiny_graph());
+    req.machine = Some(Machine::paper_machine());
+    req.candidates = 4;
+    let line = api::encode_request(&Request::Place(req));
+    let decoded = api::decode_request(&line).expect("decodes");
+    assert_eq!(api::encode_request(&decoded), line);
+
+    let resp = Response::Place(PlaceResponse::failure(0, &EagleError::Protocol("bad".into())));
+    let line = api::encode_response(&resp);
+    let decoded = api::decode_response(&line).expect("decodes");
+    assert_eq!(api::encode_response(&decoded), line);
+}
+
+#[test]
+fn version_skew_is_rejected_symmetrically() {
+    // A v2 client line is refused by this build's decoder on both sides.
+    let line = r#"{"type":"place","schema_version":2,"id":1}"#;
+    assert!(matches!(
+        api::decode_request(line),
+        Err(EagleError::SchemaVersion { found: 2, expected: 1 })
+    ));
+    let line = r#"{"type":"place_result","schema_version":2,"id":1}"#;
+    assert!(matches!(
+        api::decode_response(line),
+        Err(EagleError::SchemaVersion { found: 2, expected: 1 })
+    ));
+}

@@ -52,14 +52,15 @@ fn arb_placement(n: usize) -> impl Strategy<Value = Placement> {
 fn arb_machine() -> impl Strategy<Value = Machine> {
     (1usize..=4, 1u64..=24, 1u64..=1000, 0u64..=100).prop_map(
         |(gpus, gb_per_s, latency_us, launch_us)| {
-            let mut m = Machine::paper_machine();
-            m.devices.truncate(1 + gpus);
-            m.link_bandwidth = gb_per_s as f64 * 1e9;
-            m.transfer_latency = latency_us as f64 * 1e-6;
-            for d in &mut m.devices[1..] {
-                d.launch_overhead = launch_us as f64 * 1e-6;
+            let gib = 1u64 << 30;
+            let mut b = Machine::builder().cpu(0.6e12, 125 * gib, 10e-6);
+            for _ in 0..gpus {
+                b = b.gpu(9.3e12, 16 * gib, launch_us as f64 * 1e-6);
             }
-            m
+            b.link_bandwidth(gb_per_s as f64 * 1e9)
+                .transfer_latency(latency_us as f64 * 1e-6)
+                .build()
+                .expect("randomized machine stays in the builder's valid range")
         },
     )
 }

@@ -1,0 +1,231 @@
+//! End-to-end test of the placement daemon: a real TCP server, concurrent
+//! clients, wave coalescing, bit-identical results vs the direct in-process
+//! decode path, typed error replies, and policy hot-reload.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eagle::api::{ErrorCode, PlaceRequest, API_SCHEMA_VERSION};
+use eagle::core::{AgentScale, EagleAgent, PlacementAgent};
+use eagle::devsim::{simulate, Benchmark, Machine};
+use eagle::obs::Recorder;
+use eagle::opgraph::OpGraph;
+use eagle::rl::{fork_streams, StochasticPolicy};
+use eagle::serve::{publish_state, untrained_state, Client, PolicyStore, Server, ServerConfig};
+use eagle::tensor::Params;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::Value;
+
+/// A fresh store directory seeded with one tiny-scale inception policy.
+fn seeded_store(name: &str, graph: &OpGraph, machine: &Machine) -> (std::path::PathBuf, String) {
+    let root = std::env::temp_dir().join("eagle-serve-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let state = untrained_state(graph, machine, AgentScale::tiny(), 1).expect("fabricate state");
+    let version = publish_state(&root, "inception_v3", "tiny", &state).expect("publish");
+    (root, version)
+}
+
+fn start_server(root: &std::path::Path) -> Server {
+    // One recorder across store and router, as the daemon binary wires it, so
+    // `serve.policy_*` and `serve.requests` land in the same place.
+    let recorder = Recorder::new();
+    let store = Arc::new(PolicyStore::open(root, recorder.clone()));
+    Server::start(ServerConfig::default(), store, recorder).expect("server starts")
+}
+
+/// The router's decode path, replicated in-process: one agent rebuild around
+/// the stored parameters, per-request forked RNG streams, batched sample +
+/// decode, simulate, best valid candidate (ties to the lowest index).
+fn direct_placement(
+    root: &std::path::Path,
+    graph: &OpGraph,
+    machine: &Machine,
+    seed: u64,
+    candidates: usize,
+) -> (Vec<u8>, f64) {
+    let store = PolicyStore::open(root, Recorder::new());
+    let entry = store.get("inception_v3").expect("policy loads");
+    let mut scratch = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let agent = EagleAgent::new_for_inference(&mut scratch, graph, machine, entry.scale, &mut rng);
+    let mut master = ChaCha8Rng::seed_from_u64(seed);
+    let mut streams = fork_streams(&mut master, agent.rng_draws_per_sample(), candidates);
+    let mut refs: Vec<&mut dyn rand::RngCore> =
+        streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
+    let actions: Vec<Vec<usize>> =
+        agent.sample_batch(&entry.params, &mut refs).into_iter().map(|(a, _)| a).collect();
+    let placements = agent.decode_batch(&entry.params, &actions);
+    let best = placements
+        .iter()
+        .filter_map(|p| simulate(graph, machine, p).step_time().map(|t| (t, p)))
+        .fold(None::<(f64, &eagle::devsim::Placement)>, |best, (t, p)| match best {
+            Some((bt, _)) if bt <= t => best,
+            _ => Some((t, p)),
+        })
+        .expect("some candidate is feasible");
+    (best.1.devices().iter().map(|d| d.0).collect(), best.0)
+}
+
+#[test]
+fn daemon_serves_concurrent_clients_with_coalescing() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let (root, version) = seeded_store("concurrent", &graph, &machine);
+    let server = start_server(&root);
+    let addr = server.local_addr();
+
+    let mut setup = Client::connect(addr).expect("connect");
+    let key = setup.register_graph(&graph).expect("register");
+
+    // 8 closed-loop clients, 10 requests each: every reply valid, versioned,
+    // and placing every op.
+    let ops = graph.len();
+    std::thread::scope(|s| {
+        for c in 0..8u64 {
+            let (key, version) = (key.clone(), version.clone());
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..10u64 {
+                    let id = c * 100 + i;
+                    let resp = client
+                        .place(PlaceRequest::by_key(id, "inception_v3", &key))
+                        .expect("place");
+                    assert_eq!(resp.schema_version, API_SCHEMA_VERSION);
+                    assert_eq!(resp.id, id);
+                    assert!(resp.error.is_none(), "unexpected error: {:?}", resp.error);
+                    assert_eq!(resp.placement.as_ref().unwrap().len(), ops);
+                    assert!(resp.predicted_step_time.unwrap() > 0.0);
+                    assert_eq!(resp.policy_version.as_deref(), Some(version.as_str()));
+                }
+            });
+        }
+    });
+
+    // Coalescing: 80 requests from 8 concurrent clients must share waves, so
+    // the daemon runs strictly fewer forwards (2 per wave) than requests.
+    let rec = server.recorder();
+    let requests = rec.counter_value("serve.requests");
+    let forwards = rec.counter_value("serve.forwards");
+    let waves = rec.counter_value("serve.waves");
+    assert_eq!(requests, 80);
+    assert_eq!(rec.counter_value("serve.errors"), 0);
+    assert!(waves < requests, "80 concurrent requests must not get 1 wave each ({waves} waves)");
+    assert!(
+        forwards < requests,
+        "wave batching must keep forwards ({forwards}) below requests ({requests})"
+    );
+    assert!(rec.histogram("serve.latency_us").is_some());
+    assert!(rec.histogram("serve.wave_size").unwrap().max > 1.0, "some wave held > 1 request");
+
+    // Bit-identity: the daemon's reply equals the direct in-process decode
+    // path, regardless of what shared its wave above.
+    for seed in [3u64, 17] {
+        let mut req = PlaceRequest::by_key(seed, "inception_v3", &key);
+        req.seed = seed;
+        req.candidates = 3;
+        let resp = setup.place(req).expect("place");
+        let (want_placement, want_time) = direct_placement(&root, &graph, &machine, seed, 3);
+        assert_eq!(resp.placement.unwrap(), want_placement, "seed {seed} placement drifted");
+        assert_eq!(resp.predicted_step_time.unwrap(), want_time, "seed {seed} time drifted");
+    }
+
+    // Shutdown must complete while clients are still connected (handlers are
+    // blocked in `read`); a hang here is the regression this pins.
+    server.shutdown();
+}
+
+#[test]
+fn daemon_replies_with_typed_errors() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let (root, _) = seeded_store("errors", &graph, &machine);
+    let server = start_server(&root);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let key = client.register_graph(&graph).expect("register");
+
+    // Unknown policy family.
+    let resp = client.place(PlaceRequest::by_key(1, "resnet_slim", &key)).expect("reply");
+    assert_eq!(resp.error.as_ref().unwrap().code, ErrorCode::UnknownFamily);
+    assert!(resp.placement.is_none());
+
+    // Unknown graph key.
+    let resp =
+        client.place(PlaceRequest::by_key(2, "inception_v3", "ffffffffffffffff")).expect("reply");
+    assert_eq!(resp.error.as_ref().unwrap().code, ErrorCode::UnknownGraphKey);
+
+    // Both graph and graph_key set.
+    let mut req = PlaceRequest::by_key(3, "inception_v3", &key);
+    req.graph = Some(graph.clone());
+    let resp = client.place(req).expect("reply");
+    assert_eq!(resp.error.as_ref().unwrap().code, ErrorCode::BadRequest);
+
+    // Raw protocol-level garbage: the server answers (never disconnects) with
+    // a `place_result` carrying id 0 and a `Protocol` error.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).expect("error reply is JSON");
+    assert_eq!(v["type"].as_str(), Some("place_result"));
+    assert_eq!(v["id"].as_u64(), Some(0));
+    assert_eq!(v["error"]["code"].as_str(), Some("Protocol"));
+
+    // Wrong schema version on an otherwise plausible line.
+    raw.write_all(b"{\"type\":\"place\",\"schema_version\":2,\"id\":9}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v["error"]["code"].as_str(), Some("SchemaVersion"));
+
+    // The connection survived all of the above, and every error reply —
+    // routed (unknown family) or boundary (validation, protocol) — counted.
+    let resp = client.place(PlaceRequest::by_key(4, "inception_v3", &key)).expect("reply");
+    assert!(resp.error.is_none());
+    assert_eq!(server.recorder().counter_value("serve.errors"), 5);
+    server.shutdown();
+}
+
+#[test]
+fn daemon_hot_reloads_policies_without_dropping_requests() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let (root, v1) = seeded_store("reload", &graph, &machine);
+    let server = start_server(&root);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let key = client.register_graph(&graph).expect("register");
+
+    let resp = client.place(PlaceRequest::by_key(1, "inception_v3", &key)).expect("place");
+    assert_eq!(resp.policy_version.as_deref(), Some(v1.as_str()));
+
+    // Republish from different weights; the file stamp (len, mtime) changes,
+    // so the store reloads on the next `get`. The sleep guards against mtime
+    // granularity hiding the rewrite.
+    std::thread::sleep(Duration::from_millis(20));
+    let state2 = untrained_state(&graph, &machine, AgentScale::tiny(), 2).unwrap();
+    let v2 = publish_state(&root, "inception_v3", "tiny", &state2).unwrap();
+    assert_ne!(v1, v2, "different weights must yield a different content version");
+
+    // In-flight service continues; within a bounded window replies switch to
+    // the new version and never to anything else.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut id = 100u64;
+    loop {
+        let resp = client.place(PlaceRequest::by_key(id, "inception_v3", &key)).expect("place");
+        assert!(resp.error.is_none(), "no request may fail across the swap");
+        let got = resp.policy_version.unwrap();
+        assert!(got == v1 || got == v2, "unexpected version {got}");
+        if got == v2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon never picked up the republished policy");
+        id += 1;
+    }
+    assert!(server.recorder().counter_value("serve.policy_reloads") >= 1);
+    server.shutdown();
+}
