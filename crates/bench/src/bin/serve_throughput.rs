@@ -7,6 +7,8 @@
 //!                  [--scale quick] [--coalesce-us 200] [--sim-workers W]
 //!                  [--family inception_v3] [--addr HOST:PORT]
 //!                  [--p99-budget-ms MS] [--min-rps RPS] [--no-hot-reload]
+//!                  [--no-overload] [--overload-capacity N]
+//!                  [--overload-requests N] [--overload-p99-budget-ms MS]
 //!                  [--out DIR]
 //! ```
 //!
@@ -20,6 +22,13 @@
 //! * determinism: the same request replayed yields the identical placement;
 //! * hot-reload: republishing the policy mid-load swaps the served version
 //!   with zero errors (both versions observed in replies);
+//! * overload (in-process mode only): a second, deliberately tiny daemon
+//!   (`--overload-capacity` queue slots) is burst-driven by 4x as many
+//!   closed-loop clients; admission must shed a non-zero number of requests
+//!   with typed `Overloaded` replies carrying retry hints, zero non-overload
+//!   errors, the queue depth at every wave cut bounded by the capacity, and —
+//!   under `--overload-p99-budget-ms` — the p99 of *admitted* requests within
+//!   budget (shedding is what keeps the survivors fast);
 //! * optional `--p99-budget-ms` / `--min-rps` CI budgets.
 //!
 //! With `--addr` the bench instead drives an already-running daemon (the CI
@@ -39,8 +48,8 @@ use eagle_core::AgentScale;
 use eagle_devsim::{Benchmark, Machine};
 use eagle_obs::Recorder;
 use eagle_serve::{
-    api::PlaceRequest, publish_state, untrained_state, Client, PolicyStore, RouterConfig, Server,
-    ServerConfig,
+    api::{ErrorCode, PlaceRequest},
+    publish_state, untrained_state, Client, PolicyStore, RouterConfig, Server, ServerConfig,
 };
 use serde_json::Value;
 
@@ -60,6 +69,10 @@ struct Args {
     p99_budget_ms: Option<f64>,
     min_rps: Option<f64>,
     hot_reload: bool,
+    overload: bool,
+    overload_capacity: usize,
+    overload_requests: u64,
+    overload_p99_budget_ms: Option<f64>,
     out: std::path::PathBuf,
 }
 
@@ -76,6 +89,10 @@ fn parse_args() -> Args {
         p99_budget_ms: None,
         min_rps: None,
         hot_reload: true,
+        overload: true,
+        overload_capacity: 8,
+        overload_requests: 256,
+        overload_p99_budget_ms: None,
         out: "results".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +101,11 @@ fn parse_args() -> Args {
         let flag = argv[i].as_str();
         if flag == "--no-hot-reload" {
             args.hot_reload = false;
+            i += 1;
+            continue;
+        }
+        if flag == "--no-overload" {
+            args.overload = false;
             i += 1;
             continue;
         }
@@ -109,6 +131,18 @@ fn parse_args() -> Args {
                 args.p99_budget_ms = Some(value.parse().expect("--p99-budget-ms number"))
             }
             "--min-rps" => args.min_rps = Some(value.parse().expect("--min-rps number")),
+            "--overload-capacity" => {
+                args.overload_capacity =
+                    value.parse().expect("--overload-capacity positive integer");
+                assert!(args.overload_capacity > 0, "--overload-capacity must be positive");
+            }
+            "--overload-requests" => {
+                args.overload_requests = value.parse().expect("--overload-requests integer")
+            }
+            "--overload-p99-budget-ms" => {
+                args.overload_p99_budget_ms =
+                    Some(value.parse().expect("--overload-p99-budget-ms number"))
+            }
             "--out" => args.out = value.into(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -389,6 +423,142 @@ fn main() {
         }
     }
 
+    // --- Overload phase (in-process mode only): a second, deliberately tiny
+    // daemon on the same store, burst-driven 4x over its queue capacity.
+    // Saturation must degrade by typed shedding — bounded queue, retry hints,
+    // fast survivors — never by unbounded buffering or dropped connections. ---
+    let mut overload_row = Value::Null;
+    if args.overload {
+        if let Some(dir) = &store_dir {
+            let capacity = args.overload_capacity;
+            let recorder2 = Recorder::new();
+            let store2 = Arc::new(PolicyStore::open(dir, recorder2.clone()));
+            let router2 = RouterConfig {
+                coalesce: std::time::Duration::from_micros(args.coalesce_us),
+                sim_workers: args.sim_workers,
+                queue_capacity: capacity,
+                max_wave: (capacity / 2).max(1),
+                ..RouterConfig::default()
+            };
+            let server2 = Server::start(
+                ServerConfig { addr: "127.0.0.1:0".into(), router: router2 },
+                store2,
+                recorder2.clone(),
+            )
+            .expect("overload server start");
+            let addr2 = server2.local_addr();
+            let mut probe = Client::connect(addr2).expect("connect");
+            let key2 = probe.register_graph(&graph).expect("register graph");
+
+            // Deterministic deadline sheds: a zero budget is refused at
+            // admission with the dedicated code, no load required.
+            let deadline_probes = 4u64;
+            for i in 0..deadline_probes {
+                let req =
+                    PlaceRequest::by_key(2_000_000 + i, &args.family, &key2).with_deadline_ms(0);
+                let resp = probe.place(req).expect("deadline probe round-trip");
+                let err = resp.error.expect("zero deadline budget must be refused");
+                assert_eq!(
+                    err.code,
+                    ErrorCode::DeadlineExceeded,
+                    "zero deadline must shed with DeadlineExceeded, got {:?}",
+                    err.code
+                );
+            }
+
+            let clients = capacity * 4;
+            let total = args.overload_requests;
+            let candidates = args.candidates;
+            let family = args.family.as_str();
+            let issued = AtomicU64::new(0);
+            let seq2 = AtomicU64::new(3_000_000);
+            let start = Instant::now();
+            let results: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let (issued, seq2, key2) = (&issued, &seq2, &key2);
+                        s.spawn(move || {
+                            let mut client = Client::connect(addr2).expect("connect");
+                            let mut admitted_ms = Vec::new();
+                            let mut shed = 0u64;
+                            let mut other = 0u64;
+                            while issued.fetch_add(1, Ordering::SeqCst) < total {
+                                let id = seq2.fetch_add(1, Ordering::SeqCst);
+                                let mut req = PlaceRequest::by_key(id, family, key2);
+                                req.candidates = candidates;
+                                let t0 = Instant::now();
+                                // A dropped connection under burst is the bug
+                                // this phase exists to catch.
+                                let resp =
+                                    client.place(req).expect("overload must not drop connections");
+                                match resp.error {
+                                    None => admitted_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                                    Some(err) if err.code == ErrorCode::Overloaded => {
+                                        assert!(
+                                            err.retry_after_ms.unwrap_or(0) >= 1,
+                                            "Overloaded reply must carry a retry hint"
+                                        );
+                                        shed += 1;
+                                    }
+                                    Some(_) => other += 1,
+                                }
+                            }
+                            (admitted_ms, shed, other)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("overload client")).collect()
+            });
+            let elapsed_s = start.elapsed().as_secs_f64();
+            let mut admitted_ms: Vec<f64> = Vec::new();
+            let (mut shed, mut other) = (0u64, 0u64);
+            for (l, s_, o) in results {
+                admitted_ms.extend(l);
+                shed += s_;
+                other += o;
+            }
+            assert_eq!(other, 0, "only Overloaded errors are acceptable under burst");
+            assert!(shed > 0, "{clients} clients against {capacity} queue slots must shed");
+            assert!(!admitted_ms.is_empty(), "admitted requests must still complete under burst");
+            let depth =
+                recorder2.histogram("serve.queue_depth").expect("queue depth histogram exists");
+            assert!(
+                depth.max <= capacity as f64,
+                "queue depth {} exceeded capacity {capacity}: admission is not bounding memory",
+                depth.max
+            );
+            admitted_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p99_admitted = admitted_ms[((admitted_ms.len() - 1) as f64 * 0.99) as usize];
+            if let Some(budget) = args.overload_p99_budget_ms {
+                assert!(
+                    p99_admitted <= budget,
+                    "admitted p99 {p99_admitted:.3} ms exceeds overload budget {budget} ms"
+                );
+            }
+            println!(
+                "overload: {clients} clients vs {capacity} slots — {} admitted (p99 \
+                 {p99_admitted:.3} ms), {shed} shed with retry hints, depth max {:.0}, \
+                 {deadline_probes} deadline probes typed",
+                admitted_ms.len(),
+                depth.max
+            );
+            overload_row = obj(vec![
+                ("capacity", Value::U64(capacity as u64)),
+                ("clients", Value::U64(clients as u64)),
+                ("requests", Value::U64(total)),
+                ("admitted", Value::U64(admitted_ms.len() as u64)),
+                ("shed", Value::U64(shed)),
+                ("deadline_probes", Value::U64(deadline_probes)),
+                ("elapsed_s", Value::F64(elapsed_s)),
+                ("p99_admitted_ms", Value::F64(p99_admitted)),
+                ("queue_depth_max", Value::F64(depth.max)),
+            ]);
+            server2.shutdown();
+        } else {
+            println!("overload phase skipped: needs in-process mode (no --addr)");
+        }
+    }
+
     // --- Optional CI budgets. ---
     let last = phases.last().expect("at least one phase");
     if let Some(budget) = args.p99_budget_ms {
@@ -435,6 +605,7 @@ fn main() {
             "hot_reload_versions",
             Value::Array(hot_reload_versions.iter().map(|v| Value::String(v.clone())).collect()),
         ),
+        ("overload", overload_row),
     ]);
     std::fs::create_dir_all(&args.out).expect("create out dir");
     let path = args.out.join("BENCH_serve_throughput.json");

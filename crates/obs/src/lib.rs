@@ -40,7 +40,7 @@ mod telemetry;
 
 pub use fsio::write_atomic;
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
-pub use recorder::{Recorder, Span, SpanEvent};
+pub use recorder::{MetricName, Recorder, Span, SpanEvent};
 pub use runtime::{available_workers, resolve_workers, set_available_workers};
 pub use sink::{summary, write_jsonl, SCHEMA_VERSION};
 pub use telemetry::Telemetry;

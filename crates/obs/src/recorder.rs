@@ -1,10 +1,16 @@
 //! The recording handle threaded through trainer, environment and RL updates.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A metric name: a `&'static str` on hot paths (no allocation), or an owned
+/// `String` for names built at runtime (e.g. the serving daemon's per-family
+/// `serve.queue_depth.<family>` gauges).
+pub type MetricName = Cow<'static, str>;
 
 /// One completed span: a named, timed scope (e.g. one minibatch's decode phase).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,9 +25,9 @@ pub struct SpanEvent {
 
 #[derive(Debug, Default)]
 struct State {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, f64>,
+    histograms: BTreeMap<MetricName, Histogram>,
     spans: Vec<SpanEvent>,
 }
 
@@ -71,20 +77,20 @@ impl Recorder {
     }
 
     /// Adds `delta` to the named monotonic counter.
-    pub fn add(&self, name: &'static str, delta: u64) {
-        self.with_state(|s| *s.counters.entry(name).or_insert(0) += delta);
+    pub fn add(&self, name: impl Into<MetricName>, delta: u64) {
+        self.with_state(|s| *s.counters.entry(name.into()).or_insert(0) += delta);
     }
 
     /// Sets the named gauge to its latest value.
-    pub fn gauge(&self, name: &'static str, value: f64) {
+    pub fn gauge(&self, name: impl Into<MetricName>, value: f64) {
         self.with_state(|s| {
-            s.gauges.insert(name, value);
+            s.gauges.insert(name.into(), value);
         });
     }
 
     /// Records one observation into the named histogram.
-    pub fn observe(&self, name: &'static str, value: f64) {
-        self.with_state(|s| s.histograms.entry(name).or_default().record(value));
+    pub fn observe(&self, name: impl Into<MetricName>, value: f64) {
+        self.with_state(|s| s.histograms.entry(name.into()).or_default().record(value));
     }
 
     /// Opens a timed scope. When the returned guard drops, the elapsed time in
@@ -112,18 +118,20 @@ impl Recorder {
     }
 
     /// All counters, sorted by name.
-    pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        self.with_state(|s| s.counters.iter().map(|(&k, &v)| (k, v)).collect()).unwrap_or_default()
+    pub fn counters(&self) -> Vec<(MetricName, u64)> {
+        self.with_state(|s| s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect())
+            .unwrap_or_default()
     }
 
     /// All gauges, sorted by name.
-    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
-        self.with_state(|s| s.gauges.iter().map(|(&k, &v)| (k, v)).collect()).unwrap_or_default()
+    pub fn gauges(&self) -> Vec<(MetricName, f64)> {
+        self.with_state(|s| s.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect())
+            .unwrap_or_default()
     }
 
     /// Snapshots of all histograms, sorted by name.
-    pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
-        self.with_state(|s| s.histograms.iter().map(|(&k, h)| (k, h.snapshot())).collect())
+    pub fn histograms(&self) -> Vec<(MetricName, HistogramSnapshot)> {
+        self.with_state(|s| s.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect())
             .unwrap_or_default()
     }
 
@@ -144,7 +152,7 @@ impl Drop for Span {
         if let Some((inner, name, start)) = self.active.take() {
             let micros = start.elapsed().as_secs_f64() * 1e6;
             let mut s = inner.state.lock().expect("telemetry store poisoned");
-            let h = s.histograms.entry(name).or_default();
+            let h = s.histograms.entry(Cow::Borrowed(name)).or_default();
             h.record(micros);
             let seq = h.count();
             s.spans.push(SpanEvent { name, seq, micros });
@@ -185,6 +193,23 @@ mod tests {
         let h = r.histogram("t").unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 30.0);
+    }
+
+    #[test]
+    fn runtime_built_names_work_alongside_static_ones() {
+        let r = Recorder::new();
+        r.gauge("serve.queue_depth", 3.0);
+        for fam in ["inception_v3", "gnmt"] {
+            r.gauge(format!("serve.queue_depth.{fam}"), 1.0);
+            r.add(format!("serve.shed.{fam}"), 2);
+        }
+        assert_eq!(r.gauge_value("serve.queue_depth.gnmt"), Some(1.0));
+        assert_eq!(r.counter_value("serve.shed.inception_v3"), 2);
+        let names: Vec<_> = r.gauges().into_iter().map(|(n, _)| n.into_owned()).collect();
+        assert_eq!(
+            names,
+            vec!["serve.queue_depth", "serve.queue_depth.gnmt", "serve.queue_depth.inception_v3"]
+        );
     }
 
     #[test]

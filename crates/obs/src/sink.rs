@@ -61,7 +61,7 @@ pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()
     for (name, value) in rec.counters() {
         let line = obj(vec![
             ("type", Value::from("counter")),
-            ("name", Value::from(name)),
+            ("name", Value::from(name.as_ref())),
             ("value", Value::U64(value)),
         ]);
         writeln!(out, "{}", serde_json::to_string(&line).expect("serialize counter"))?;
@@ -69,7 +69,7 @@ pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()
     for (name, value) in rec.gauges() {
         let line = obj(vec![
             ("type", Value::from("gauge")),
-            ("name", Value::from(name)),
+            ("name", Value::from(name.as_ref())),
             ("value", num(value)),
         ]);
         writeln!(out, "{}", serde_json::to_string(&line).expect("serialize gauge"))?;
@@ -80,7 +80,7 @@ pub fn write_jsonl(rec: &Recorder, path: &Path, run: &str) -> std::io::Result<()
         );
         let line = obj(vec![
             ("type", Value::from("histogram")),
-            ("name", Value::from(name)),
+            ("name", Value::from(name.as_ref())),
             ("count", Value::U64(h.count)),
             ("sum", num(h.sum)),
             ("min", num(h.min)),

@@ -24,7 +24,7 @@
 
 use eagle_devsim::Machine;
 use eagle_opgraph::OpGraph;
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use serde_json::Value;
 
 use crate::error::EagleError;
@@ -46,21 +46,34 @@ pub enum ErrorCode {
     UnknownGraphKey,
     PolicyMismatch,
     Infeasible,
+    Overloaded,
+    DeadlineExceeded,
     Internal,
 }
 
 /// A typed error reply.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Decoding tolerates a missing `retry_after_ms` (treated as `null`), so
+/// replies from pre-admission-control servers still parse — the field is an
+/// additive, optional extension of schema v1.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ApiError {
     /// Failure class.
     pub code: ErrorCode,
     /// Human-readable detail (not stable; do not parse).
     pub message: String,
+    /// For [`ErrorCode::Overloaded`] replies: the server's estimate of when
+    /// retrying is likely to be admitted, in milliseconds. `null` otherwise.
+    pub retry_after_ms: Option<u64>,
 }
 
 /// A placement request: place `graph` (or the graph registered under
 /// `graph_key`) on `machine` using the policy published for `family`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Decoding tolerates a missing `deadline_ms` (treated as `null`), so lines
+/// from pre-admission-control clients still parse — the field is an additive,
+/// optional extension of schema v1.
+#[derive(Debug, Clone, Serialize)]
 pub struct PlaceRequest {
     /// Wire schema version; must equal [`API_SCHEMA_VERSION`].
     pub schema_version: u64,
@@ -81,6 +94,64 @@ pub struct PlaceRequest {
     /// function of (policy version, graph, machine, candidates, seed),
     /// independent of what other requests share the wave.
     pub seed: u64,
+    /// Optional deadline budget in milliseconds, measured from the server's
+    /// admission of the request. A request that would expire before its wave
+    /// runs is shed with a typed [`ErrorCode::DeadlineExceeded`] reply instead
+    /// of being simulated pointlessly; `null` means no deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Looks up a required struct field during hand-written decoding.
+fn field<T: Deserialize>(c: &Content, ty: &str, name: &str) -> Result<T, serde::Error> {
+    let v = c
+        .get_field(name)
+        .ok_or_else(|| serde::Error::msg(format!("missing field `{name}` in {ty}")))?;
+    T::from_content(v)
+}
+
+/// Looks up an optional struct field: absent and `null` both decode to `None`,
+/// keeping additive schema-v1 extensions compatible with older peers.
+fn opt_field<T: Deserialize>(c: &Content, name: &str) -> Result<Option<T>, serde::Error> {
+    match c.get_field(name) {
+        None => Ok(None),
+        Some(v) => Option::<T>::from_content(v),
+    }
+}
+
+// Hand-written (not derived) so the optional `deadline_ms` may be absent: the
+// vendored serde derive requires every field to be present on the wire.
+impl Deserialize for PlaceRequest {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        if !matches!(c, Content::Map(_)) {
+            return Err(serde::Error::msg("expected object for PlaceRequest"));
+        }
+        Ok(Self {
+            schema_version: field(c, "PlaceRequest", "schema_version")?,
+            id: field(c, "PlaceRequest", "id")?,
+            family: field(c, "PlaceRequest", "family")?,
+            graph: opt_field(c, "graph")?,
+            graph_key: opt_field(c, "graph_key")?,
+            machine: opt_field(c, "machine")?,
+            candidates: field(c, "PlaceRequest", "candidates")?,
+            seed: field(c, "PlaceRequest", "seed")?,
+            deadline_ms: opt_field(c, "deadline_ms")?,
+        })
+    }
+}
+
+// Hand-written for the same reason: `retry_after_ms` may be absent in replies
+// from older servers.
+impl Deserialize for ApiError {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        if !matches!(c, Content::Map(_)) {
+            return Err(serde::Error::msg("expected object for ApiError"));
+        }
+        Ok(Self {
+            code: field(c, "ApiError", "code")?,
+            message: field(c, "ApiError", "message")?,
+            retry_after_ms: opt_field(c, "retry_after_ms")?,
+        })
+    }
 }
 
 /// Reply to a [`PlaceRequest`]: either a placement or a typed error.
@@ -223,6 +294,7 @@ impl PlaceRequest {
             machine: None,
             candidates: 0,
             seed: id,
+            deadline_ms: None,
         }
     }
 
@@ -237,7 +309,14 @@ impl PlaceRequest {
             machine: None,
             candidates: 0,
             seed: id,
+            deadline_ms: None,
         }
+    }
+
+    /// Sets the deadline budget (milliseconds from server admission).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 }
 
@@ -291,6 +370,33 @@ mod tests {
         ));
         let line = "{\"type\":\"warp\",\"schema_version\":1}";
         assert!(matches!(decode_request(line), Err(EagleError::Protocol(_))));
+    }
+
+    #[test]
+    fn legacy_lines_without_optional_fields_decode() {
+        // A pre-admission-control client line has no `deadline_ms`.
+        let line = "{\"type\":\"place\",\"schema_version\":1,\"id\":4,\"family\":\"fam\",\
+                    \"graph\":null,\"graph_key\":\"00ff00ff00ff00ff\",\"machine\":null,\
+                    \"candidates\":2,\"seed\":9}";
+        match decode_request(line).unwrap() {
+            Request::Place(r) => {
+                assert_eq!(r.id, 4);
+                assert_eq!(r.deadline_ms, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A pre-admission-control server's error object has no `retry_after_ms`.
+        let line = "{\"type\":\"place_result\",\"schema_version\":1,\"id\":4,\
+                    \"placement\":null,\"predicted_step_time\":null,\"policy_version\":null,\
+                    \"error\":{\"code\":\"Internal\",\"message\":\"m\"}}";
+        match decode_response(line).unwrap() {
+            Response::Place(r) => {
+                let err = r.error.unwrap();
+                assert_eq!(err.code, ErrorCode::Internal);
+                assert_eq!(err.retry_after_ms, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! eagle-serve run     --store DIR [--addr 127.0.0.1:7711] [--coalesce-us N]
-//!                     [--sim-workers N] [--metrics-every-s N]
+//!                     [--sim-workers N] [--metrics-every-s N] [--max-wave N]
+//!                     [--queue-capacity N] [--family-quota N]
 //! eagle-serve publish --store DIR --family NAME --scale SCALE --checkpoint FILE
 //! eagle-serve seed    --store DIR --family NAME [--scale quick] [--seed 1]
 //! ```
@@ -21,7 +22,8 @@ use eagle_serve::{publish_checkpoint, publish_state, untrained_state, PolicyStor
 fn usage() -> ! {
     eprintln!(
         "usage:\n  eagle-serve run --store DIR [--addr A] [--coalesce-us N] [--sim-workers N] \
-         [--metrics-every-s N]\n  eagle-serve publish --store DIR --family NAME --scale SCALE \
+         [--metrics-every-s N] [--max-wave N] [--queue-capacity N] [--family-quota N]\n  \
+         eagle-serve publish --store DIR --family NAME --scale SCALE \
          --checkpoint FILE\n  eagle-serve seed --store DIR --family BENCHMARK [--scale quick] \
          [--seed 1]"
     );
@@ -80,7 +82,19 @@ fn main() {
 }
 
 fn run(flags: &[(String, String)]) {
-    check_known(flags, &["store", "addr", "coalesce-us", "sim-workers", "metrics-every-s"]);
+    check_known(
+        flags,
+        &[
+            "store",
+            "addr",
+            "coalesce-us",
+            "sim-workers",
+            "metrics-every-s",
+            "max-wave",
+            "queue-capacity",
+            "family-quota",
+        ],
+    );
     let store_dir = require(flags, "store");
     let addr = get(flags, "addr").unwrap_or("127.0.0.1:7711");
     let mut router = eagle_serve::RouterConfig::default();
@@ -90,6 +104,17 @@ fn run(flags: &[(String, String)]) {
     }
     if let Some(w) = get(flags, "sim-workers") {
         router.sim_workers = w.parse().expect("--sim-workers takes an integer");
+    }
+    if let Some(n) = get(flags, "max-wave") {
+        router.max_wave = n.parse().expect("--max-wave takes an integer");
+        assert!(router.max_wave > 0, "--max-wave must be positive");
+    }
+    if let Some(n) = get(flags, "queue-capacity") {
+        router.queue_capacity = n.parse().expect("--queue-capacity takes an integer");
+        assert!(router.queue_capacity > 0, "--queue-capacity must be positive");
+    }
+    if let Some(n) = get(flags, "family-quota") {
+        router.family_quota = n.parse().expect("--family-quota takes an integer");
     }
     let metrics_every: u64 =
         get(flags, "metrics-every-s").map_or(0, |s| s.parse().expect("--metrics-every-s integer"));
@@ -120,11 +145,13 @@ fn run(flags: &[(String, String)]) {
             recorder.histogram("serve.latency_us").map_or((0.0, 0.0), |h| (h.p50, h.p99));
         println!(
             "requests={requests} rps={rps:.0} p50_us={p50:.0} p99_us={p99:.0} errors={} \
-             waves={} forwards={} reloads={}",
+             waves={} forwards={} reloads={} shed={} depth={:.0}",
             recorder.counter_value("serve.errors"),
             recorder.counter_value("serve.waves"),
             recorder.counter_value("serve.forwards"),
             recorder.counter_value("serve.policy_reloads"),
+            recorder.counter_value("serve.shed"),
+            recorder.gauge_value("serve.queue_depth").unwrap_or(0.0),
         );
     }
 }

@@ -50,6 +50,19 @@ pub enum EagleError {
     BadRequest(String),
     /// Every sampled candidate placement was invalid (OOM) on the machine.
     Infeasible(String),
+    /// Admission control shed the request: the router queue (or the family's
+    /// quota share of it) is at capacity. Carries a retry hint derived from the
+    /// queue depth and recent wave service time.
+    Overloaded {
+        /// Requests queued ahead at rejection time.
+        queued: usize,
+        /// The capacity that was hit (queue bound or family quota).
+        capacity: usize,
+        /// Estimated milliseconds until a retry is likely to be admitted.
+        retry_after_ms: u64,
+    },
+    /// The request's `deadline_ms` budget expired before its wave ran.
+    DeadlineExceeded(String),
 }
 
 impl std::fmt::Display for EagleError {
@@ -71,6 +84,12 @@ impl std::fmt::Display for EagleError {
             EagleError::PolicyMismatch(m) => write!(f, "policy mismatch: {m}"),
             EagleError::BadRequest(m) => write!(f, "bad request: {m}"),
             EagleError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            EagleError::Overloaded { queued, capacity, retry_after_ms } => write!(
+                f,
+                "overloaded: {queued} requests queued against capacity {capacity}; \
+                 retry in ~{retry_after_ms} ms"
+            ),
+            EagleError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }
@@ -146,15 +165,22 @@ impl EagleError {
             | EagleError::Machine(_)
             | EagleError::Env(_) => ErrorCode::BadRequest,
             EagleError::Infeasible(_) => ErrorCode::Infeasible,
+            EagleError::Overloaded { .. } => ErrorCode::Overloaded,
+            EagleError::DeadlineExceeded(_) => ErrorCode::DeadlineExceeded,
             EagleError::EnvState(_) | EagleError::Checkpoint(_) | EagleError::Io(_) => {
                 ErrorCode::Internal
             }
         }
     }
 
-    /// The typed wire reply for this error.
+    /// The typed wire reply for this error. Only `Overloaded` carries the
+    /// `retry_after_ms` hint; every other code sends `null`.
     pub fn to_api(&self) -> ApiError {
-        ApiError { code: self.code(), message: self.to_string() }
+        let retry_after_ms = match self {
+            EagleError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        };
+        ApiError { code: self.code(), message: self.to_string(), retry_after_ms }
     }
 }
 
@@ -198,5 +224,20 @@ mod tests {
         assert_eq!(EagleError::Infeasible("x".into()).code(), ErrorCode::Infeasible);
         assert_eq!(EagleError::BadRequest("x".into()).code(), ErrorCode::BadRequest);
         assert_eq!(EagleError::Io(std::io::Error::other("boom")).code(), ErrorCode::Internal);
+        let over = EagleError::Overloaded { queued: 8, capacity: 8, retry_after_ms: 5 };
+        assert_eq!(over.code(), ErrorCode::Overloaded);
+        assert_eq!(EagleError::DeadlineExceeded("x".into()).code(), ErrorCode::DeadlineExceeded);
+    }
+
+    #[test]
+    fn only_overloaded_carries_the_retry_hint() {
+        let over = EagleError::Overloaded { queued: 8, capacity: 8, retry_after_ms: 5 };
+        assert_eq!(over.to_api().retry_after_ms, Some(5));
+        assert_eq!(
+            over.to_string(),
+            "overloaded: 8 requests queued against capacity 8; retry in ~5 ms"
+        );
+        assert_eq!(EagleError::DeadlineExceeded("late".into()).to_api().retry_after_ms, None);
+        assert_eq!(EagleError::BadRequest("x".into()).to_api().retry_after_ms, None);
     }
 }

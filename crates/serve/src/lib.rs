@@ -14,14 +14,23 @@
 //!   graceful hot-reload when a newer checkpoint appears on disk.
 //! * [`Router`] — coalesces concurrent requests into waves; one batched
 //!   `sample_batch` + `decode_batch` pair per wave group (< 1 forward per
-//!   request at concurrency ≥ 2).
+//!   request at concurrency ≥ 2). Admission is bounded: beyond
+//!   `queue_capacity` (or a family's `family_quota` share) requests are shed
+//!   with a typed `overloaded` reply carrying a `retry_after_ms` hint, and a
+//!   request whose `deadline_ms` budget expires before its wave runs gets a
+//!   typed `deadline_exceeded` instead of stale work.
 //! * [`Server`] / [`Client`] — the newline-delimited-JSON TCP front end.
+//!   [`Client::place_with_retry`] implements the backpressure contract
+//!   (sleep the hint, retry `overloaded` only).
 //!
 //! Telemetry (all through [`eagle_obs::Recorder`]): counters `serve.requests`,
 //! `serve.errors`, `serve.infeasible`, `serve.waves`, `serve.forwards`,
 //! `serve.graphs_registered`, `serve.policy_loads`, `serve.policy_reloads`,
-//! `serve.policy_reload_errors`; gauge `serve.queue_depth`; histograms
-//! `serve.wave_size` and `serve.latency_us` (p50/p99 come from
+//! `serve.policy_reload_errors`, `serve.shed`, `serve.overloaded`,
+//! `serve.deadline_exceeded`, `serve.handler_panics`; gauges
+//! `serve.queue_depth` and per-family `serve.queue_depth.<family>`; histograms
+//! `serve.wave_size`, `serve.latency_us`, and `serve.queue_depth` (depth at
+//! each wave cut — its max bounds the burst memory; p50/p99 come from
 //! [`eagle_obs::HistogramSnapshot`]).
 
 #![warn(missing_docs)]

@@ -18,7 +18,7 @@
 //! request whose every candidate OOMs gets a typed `infeasible` reply.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -54,6 +54,15 @@ pub struct RouterConfig {
     pub graph_capacity: usize,
     /// Built serving agents kept, keyed by (family, version, graph, machine).
     pub agent_capacity: usize,
+    /// Upper bound on requests queued awaiting a wave. Admission beyond this
+    /// replies with a typed `Overloaded` error (plus a `retry_after_ms` hint)
+    /// instead of queueing, so a burst degrades by shedding rather than by
+    /// unbounded memory growth and tail latency.
+    pub queue_capacity: usize,
+    /// Upper bound on queued requests *per policy family*, so one noisy family
+    /// cannot starve the others out of the shared queue. `0` disables the
+    /// per-family quota (the shared `queue_capacity` still applies).
+    pub family_quota: usize,
 }
 
 impl Default for RouterConfig {
@@ -66,6 +75,8 @@ impl Default for RouterConfig {
             sim_workers: 0,
             graph_capacity: 256,
             agent_capacity: 32,
+            queue_capacity: 256,
+            family_quota: 0,
         }
     }
 }
@@ -80,6 +91,16 @@ struct Pending {
     machine_fp: u64,
     reply: mpsc::Sender<PlaceResponse>,
     enqueued: Instant,
+    /// Absolute expiry computed from the request's `deadline_ms` at admission.
+    deadline: Option<Instant>,
+}
+
+/// The admission-controlled queue: the pending FIFO plus per-family occupancy
+/// counts, kept consistent under one mutex so quota checks are race-free.
+#[derive(Default)]
+struct Queue {
+    pending: VecDeque<Pending>,
+    per_family: HashMap<String, usize>,
 }
 
 #[derive(Default)]
@@ -98,7 +119,7 @@ struct ServingAgent {
 /// The shared router. Connection threads call [`submit`](Self::submit) /
 /// [`register_graph`](Self::register_graph); one thread runs [`run`](Self::run).
 pub struct Router {
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<Queue>,
     cv: Condvar,
     store: Arc<PolicyStore>,
     graphs: Mutex<GraphRegistry>,
@@ -106,6 +127,9 @@ pub struct Router {
     cfg: RouterConfig,
     recorder: Recorder,
     stop: AtomicBool,
+    /// EWMA of recent wave service time in microseconds, feeding the
+    /// `retry_after_ms` hint on `Overloaded` replies.
+    wave_us: AtomicU64,
 }
 
 fn machine_fingerprint(machine: &Machine) -> u64 {
@@ -135,7 +159,7 @@ impl Router {
         let machine = Machine::paper_machine();
         let fp = machine_fingerprint(&machine);
         Arc::new(Self {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queue::default()),
             cv: Condvar::new(),
             store,
             graphs: Mutex::new(GraphRegistry::default()),
@@ -143,7 +167,35 @@ impl Router {
             cfg,
             recorder,
             stop: AtomicBool::new(false),
+            wave_us: AtomicU64::new(0),
         })
+    }
+
+    /// The per-family queue quota actually enforced: `family_quota`, clamped to
+    /// the shared bound; `0` means no separate per-family limit.
+    fn effective_family_quota(&self) -> usize {
+        match self.cfg.family_quota {
+            0 => self.cfg.queue_capacity,
+            q => q.min(self.cfg.queue_capacity),
+        }
+    }
+
+    /// Estimates how long a shed client should wait before retrying: the
+    /// number of waves queued ahead times the recent per-wave service time
+    /// (coalesce window included), floored at 1 ms so clients never spin.
+    fn retry_after_hint_ms(&self, queued: usize) -> u64 {
+        let wave_us = self.wave_us.load(Ordering::Relaxed);
+        let per_wave_us = wave_us + self.cfg.coalesce.as_micros() as u64;
+        let waves_ahead = (queued / self.cfg.max_wave.max(1)) as u64 + 1;
+        (waves_ahead * per_wave_us / 1000).max(1)
+    }
+
+    /// Publishes the shared and per-family queue-depth gauges. Called with the
+    /// queue lock held so the gauges never go backwards against each other.
+    fn publish_depth_gauges(&self, q: &Queue, family: &str) {
+        self.recorder.gauge("serve.queue_depth", q.pending.len() as f64);
+        let fam_depth = q.per_family.get(family).copied().unwrap_or(0);
+        self.recorder.gauge(format!("serve.queue_depth.{family}"), fam_depth as f64);
     }
 
     /// The router's telemetry recorder.
@@ -227,7 +279,22 @@ impl Router {
                 (Arc::new(m), fp)
             }
         };
+        let enqueued = Instant::now();
+        let deadline = match req.deadline_ms {
+            // A zero budget can never survive even an empty queue's coalesce
+            // window; shed it at admission rather than let it occupy a slot.
+            Some(0) => {
+                self.recorder.add("serve.deadline_exceeded", 1);
+                self.recorder.add("serve.shed", 1);
+                return Err(EagleError::DeadlineExceeded(
+                    "deadline_ms 0 expires before any wave can run".into(),
+                ));
+            }
+            Some(ms) => Some(enqueued + Duration::from_millis(ms)),
+            None => None,
+        };
         let (tx, rx) = mpsc::channel();
+        let family = req.family.clone();
         let pending = Pending {
             req,
             candidates,
@@ -236,12 +303,41 @@ impl Router {
             machine,
             machine_fp,
             reply: tx,
-            enqueued: Instant::now(),
+            enqueued,
+            deadline,
         };
         {
+            // Admission gate: bounded shared queue, then the per-family quota.
+            // Both reject with a typed `Overloaded` carrying a retry hint —
+            // the request never occupies a slot, so a burst costs O(capacity)
+            // memory and admitted requests keep a bounded wait.
             let mut q = self.queue.lock().expect("router queue lock");
-            q.push_back(pending);
-            self.recorder.gauge("serve.queue_depth", q.len() as f64);
+            let queued = q.pending.len();
+            if queued >= self.cfg.queue_capacity {
+                drop(q);
+                self.recorder.add("serve.overloaded", 1);
+                self.recorder.add("serve.shed", 1);
+                return Err(EagleError::Overloaded {
+                    queued,
+                    capacity: self.cfg.queue_capacity,
+                    retry_after_ms: self.retry_after_hint_ms(queued),
+                });
+            }
+            let quota = self.effective_family_quota();
+            let fam_queued = q.per_family.get(&family).copied().unwrap_or(0);
+            if fam_queued >= quota {
+                drop(q);
+                self.recorder.add("serve.overloaded", 1);
+                self.recorder.add("serve.shed", 1);
+                return Err(EagleError::Overloaded {
+                    queued: fam_queued,
+                    capacity: quota,
+                    retry_after_ms: self.retry_after_hint_ms(queued),
+                });
+            }
+            q.pending.push_back(pending);
+            *q.per_family.entry(family.clone()).or_insert(0) += 1;
+            self.publish_depth_gauges(&q, &family);
         }
         self.cv.notify_one();
         Ok(rx)
@@ -261,7 +357,7 @@ impl Router {
         loop {
             let wave = {
                 let mut q = self.queue.lock().expect("router queue lock");
-                while q.is_empty() {
+                while q.pending.is_empty() {
                     if self.stop.load(Ordering::SeqCst) {
                         return;
                     }
@@ -269,24 +365,72 @@ impl Router {
                         self.cv.wait_timeout(q, Duration::from_millis(50)).expect("router wait");
                     q = guard;
                 }
-                if !self.cfg.coalesce.is_zero() {
-                    // Let concurrent arrivals join the wave.
+                // Let concurrent arrivals join the wave — but never delay a
+                // wave that is already full: at saturation the coalesce window
+                // would only inflate latency without growing the batch.
+                if !self.cfg.coalesce.is_zero() && q.pending.len() < self.cfg.max_wave {
                     drop(q);
                     std::thread::sleep(self.cfg.coalesce);
                     q = self.queue.lock().expect("router queue lock");
                 }
-                let n = q.len().min(self.cfg.max_wave);
-                let wave: Vec<Pending> = q.drain(..n).collect();
-                self.recorder.gauge("serve.queue_depth", q.len() as f64);
+                // The depth each wave starts from; its max is the bench's
+                // bounded-memory witness (<= queue_capacity by admission).
+                self.recorder.observe("serve.queue_depth", q.pending.len() as f64);
+                let n = q.pending.len().min(self.cfg.max_wave);
+                let wave: Vec<Pending> = q.pending.drain(..n).collect();
+                for p in &wave {
+                    if let Some(count) = q.per_family.get_mut(&p.req.family) {
+                        *count = count.saturating_sub(1);
+                        if *count == 0 {
+                            q.per_family.remove(&p.req.family);
+                        }
+                    }
+                }
+                for p in &wave {
+                    self.publish_depth_gauges(&q, &p.req.family);
+                }
                 wave
             };
+            if wave.is_empty() {
+                continue;
+            }
+            // Shed admitted requests whose deadline has already passed before
+            // spending any policy or simulation work on them.
+            let started = Instant::now();
+            let wave = self.prune_expired(wave, started);
             if wave.is_empty() {
                 continue;
             }
             self.recorder.add("serve.waves", 1);
             self.recorder.observe("serve.wave_size", wave.len() as f64);
             self.process_wave(wave, &mut agents, sim_workers);
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            let old = self.wave_us.load(Ordering::Relaxed);
+            self.wave_us.store((old * 3 + elapsed_us) / 4, Ordering::Relaxed);
         }
+    }
+
+    /// Replies `DeadlineExceeded` to every request in `wave` whose deadline is
+    /// at or before `now`, returning the still-live remainder.
+    fn prune_expired(&self, wave: Vec<Pending>, now: Instant) -> Vec<Pending> {
+        let mut live = Vec::with_capacity(wave.len());
+        for p in wave {
+            match p.deadline {
+                Some(d) if d <= now => {
+                    self.recorder.add("serve.deadline_exceeded", 1);
+                    self.recorder.add("serve.shed", 1);
+                    let err = EagleError::DeadlineExceeded(format!(
+                        "deadline_ms {} expired while queued ({} ms elapsed)",
+                        p.req.deadline_ms.unwrap_or(0),
+                        p.enqueued.elapsed().as_millis()
+                    ));
+                    let resp = PlaceResponse::failure(p.req.id, &err);
+                    self.finish(&p, resp);
+                }
+                _ => live.push(p),
+            }
+        }
+        live
     }
 
     /// Answers one wave: group by (family, graph, machine), one batched
@@ -548,6 +692,123 @@ mod tests {
         m.transfer_latency = 0.0;
         req.machine = Some(m);
         assert!(matches!(router.submit(req), Err(EagleError::Machine(_))));
+    }
+
+    fn serve_setup_with(
+        name: &str,
+        cfg: RouterConfig,
+    ) -> (Arc<Router>, Arc<OpGraph>, Machine, String) {
+        let root = tmp(name);
+        let machine = Machine::small_machine();
+        let graph = Benchmark::InceptionV3.graph_for(&machine);
+        let state = untrained_state(&graph, &machine, AgentScale::tiny(), 5).unwrap();
+        publish_state(&root, "fam", "tiny", &state).unwrap();
+        let store = Arc::new(PolicyStore::open(&root, Recorder::new()));
+        let router = Router::new(store, cfg, Recorder::new());
+        (router, Arc::new(graph), machine, "fam".to_string())
+    }
+
+    /// Regression: a full wave must not sit out the coalesce window. With a
+    /// 2-second window and `max_wave` requests already queued, every reply must
+    /// arrive well before the window elapses — the old loop slept
+    /// unconditionally and would take >2 s here.
+    #[test]
+    fn full_wave_skips_the_coalesce_window() {
+        let cfg = RouterConfig {
+            coalesce: Duration::from_secs(2),
+            max_wave: 4,
+            ..RouterConfig::default()
+        };
+        let (router, graph, machine, family) = serve_setup_with("coalesce_skip", cfg);
+        let start = Instant::now();
+        let rxs: Vec<_> = (0..4)
+            .map(|i| {
+                let mut req = PlaceRequest::inline(i, &family, (*graph).clone());
+                req.machine = Some(machine.clone());
+                router.submit(req).expect("admit")
+            })
+            .collect();
+        let r = router.clone();
+        let handle = std::thread::spawn(move || r.run());
+        for rx in rxs {
+            let resp = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
+            assert!(resp.error.is_none(), "wave request failed: {:?}", resp.error);
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(1500),
+            "full wave waited out the coalesce window ({:?})",
+            start.elapsed()
+        );
+        router.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn admission_sheds_beyond_queue_capacity_with_retry_hint() {
+        let cfg = RouterConfig { queue_capacity: 2, ..RouterConfig::default() };
+        let (router, graph, _machine, family) = serve_setup_with("overload", cfg);
+        // No router thread: the queue only fills.
+        for i in 0..2 {
+            router.submit(PlaceRequest::inline(i, &family, (*graph).clone())).expect("admit");
+        }
+        match router.submit(PlaceRequest::inline(9, &family, (*graph).clone())) {
+            Err(EagleError::Overloaded { queued, capacity, retry_after_ms }) => {
+                assert_eq!(queued, 2);
+                assert_eq!(capacity, 2);
+                assert!(retry_after_ms >= 1, "hint must be at least 1 ms");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(router.recorder().counter_value("serve.overloaded"), 1);
+        assert_eq!(router.recorder().counter_value("serve.shed"), 1);
+    }
+
+    #[test]
+    fn family_quota_sheds_one_family_without_starving_others() {
+        let cfg = RouterConfig { queue_capacity: 8, family_quota: 1, ..RouterConfig::default() };
+        let (router, graph, _machine, family) = serve_setup_with("quota", cfg);
+        router.submit(PlaceRequest::inline(1, &family, (*graph).clone())).expect("admit");
+        // Second request for the same family hits the quota...
+        match router.submit(PlaceRequest::inline(2, &family, (*graph).clone())) {
+            Err(EagleError::Overloaded { queued, capacity, .. }) => {
+                assert_eq!(queued, 1);
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // ...but another family still gets a seat in the shared queue
+        // (admission does not require the family's policy to exist).
+        router.submit(PlaceRequest::inline(3, "other", (*graph).clone())).expect("admit");
+    }
+
+    #[test]
+    fn zero_deadline_is_shed_at_admission() {
+        let (router, graph, _machine, family) = serve_setup("deadline_zero");
+        let req = PlaceRequest::inline(1, &family, (*graph).clone()).with_deadline_ms(0);
+        match router.submit(req) {
+            Err(EagleError::DeadlineExceeded(_)) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(router.recorder().counter_value("serve.deadline_exceeded"), 1);
+        assert_eq!(router.recorder().counter_value("serve.shed"), 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_wave_start() {
+        let (router, graph, _machine, family) = serve_setup("deadline_expired");
+        let req = PlaceRequest::inline(1, &family, (*graph).clone()).with_deadline_ms(1);
+        let rx = router.submit(req).expect("a 1 ms budget is admitted");
+        // Let the deadline lapse before the router thread even starts.
+        std::thread::sleep(Duration::from_millis(20));
+        let r = router.clone();
+        let handle = std::thread::spawn(move || r.run());
+        let resp = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
+        let err = resp.error.expect("expired request must get a typed error");
+        assert_eq!(err.code, crate::api::ErrorCode::DeadlineExceeded);
+        assert_eq!(err.retry_after_ms, None);
+        router.shutdown();
+        handle.join().unwrap();
+        assert_eq!(router.recorder().counter_value("serve.deadline_exceeded"), 1);
     }
 
     #[test]

@@ -85,13 +85,22 @@ impl Server {
                             let id = next_id;
                             next_id += 1;
                             if let Ok(clone) = stream.try_clone() {
-                                conns.lock().unwrap().insert(id, clone);
+                                lock_conns(&conns).insert(id, clone);
                             }
                             let router = router.clone();
                             let conns = conns.clone();
                             conn_threads.push(std::thread::spawn(move || {
-                                serve_connection(stream, &router);
-                                conns.lock().unwrap().remove(&id);
+                                // A panicking handler must not take the daemon
+                                // (or the conns map) with it: count it, drop the
+                                // connection, keep serving everyone else.
+                                let result =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        serve_connection(stream, &router)
+                                    }));
+                                if result.is_err() {
+                                    router.recorder().add("serve.handler_panics", 1);
+                                }
+                                lock_conns(&conns).remove(&id);
                             }));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -141,7 +150,7 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
         // Handlers block in `read` until the peer closes; half-close every
         // live socket so they observe EOF and exit.
-        for stream in self.conns.lock().unwrap().values() {
+        for stream in lock_conns(&self.conns).values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
         if let Some(t) = self.listener_thread.take() {
@@ -158,6 +167,16 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop_threads();
     }
+}
+
+/// Locks the live-connection map, recovering a poisoned guard: the map holds
+/// plain sockets, so a thread that died mid-insert/remove leaves it usable —
+/// at worst one stale entry — and shutdown must still be able to half-close
+/// every other client instead of panicking the whole daemon.
+fn lock_conns(
+    conns: &Mutex<HashMap<u64, TcpStream>>,
+) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+    conns.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// One connection: line in, line out, until EOF.

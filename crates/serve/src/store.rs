@@ -11,18 +11,20 @@
 //!
 //! The checkpoint file is exactly what `--checkpoint-dir` training produces, so
 //! "publish" is copy-with-validation and a training run can point its checkpoint
-//! dir straight into the store for live updates. [`PolicyStore::get`] stats the
-//! checkpoint on every call and transparently **hot-reloads** when the file
-//! changes (training published a newer version): the new parameters are swapped
-//! in behind an `Arc`, so requests already holding the old entry finish on the
-//! old policy — nothing in flight is dropped. A failed reload (torn copy,
-//! version skew) keeps serving the previous entry and bumps
+//! dir straight into the store for live updates. [`PolicyStore::get`] hashes the
+//! checkpoint contents on every call and transparently **hot-reloads** when the
+//! bytes change (training published a newer version): the new parameters are
+//! swapped in behind an `Arc`, so requests already holding the old entry finish
+//! on the old policy — nothing in flight is dropped. Freshness is *content*
+//! identity, not a `(len, mtime)` stamp — a same-size rewrite landing within the
+//! filesystem's mtime granularity is exactly what a fast re-publish produces,
+//! and a stamp check silently serves the stale policy forever. A failed reload
+//! (torn copy, version skew) keeps serving the previous entry and bumps
 //! `serve.policy_reload_errors`.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::SystemTime;
 
 use eagle_core::{fnv1a64, load_checkpoint, AgentScale, EagleAgent, TrainerState, CHECKPOINT_FILE};
 use eagle_devsim::Machine;
@@ -53,20 +55,6 @@ pub struct PolicyManifest {
     pub scale: String,
 }
 
-/// Identity of a checkpoint file on disk, used to detect newer versions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FileStamp {
-    len: u64,
-    mtime: SystemTime,
-}
-
-impl FileStamp {
-    fn of(path: &Path) -> std::io::Result<Self> {
-        let meta = std::fs::metadata(path)?;
-        Ok(Self { len: meta.len(), mtime: meta.modified()? })
-    }
-}
-
 /// One loaded policy: trained parameters plus how to rebuild their agent.
 #[derive(Debug)]
 pub struct PolicyEntry {
@@ -79,9 +67,9 @@ pub struct PolicyEntry {
     /// The trained parameters.
     pub params: Params,
     /// Content version: FNV-1a-64 of the checkpoint file bytes, in hex. This is
-    /// the `policy_version` echoed in every [`crate::api::PlaceResponse`].
+    /// the `policy_version` echoed in every [`crate::api::PlaceResponse`], and
+    /// also the freshness check [`PolicyStore::get`] compares against.
     pub version: String,
-    stamp: FileStamp,
 }
 
 /// A lazy, hot-reloading view over a store directory.
@@ -144,14 +132,13 @@ impl PolicyStore {
             EagleError::PolicyMismatch(format!("unknown agent scale `{}`", manifest.scale))
         })?;
         let ckpt_path = dir.join(CHECKPOINT_FILE);
-        let stamp = FileStamp::of(&ckpt_path).map_err(|e| {
+        let bytes = std::fs::read(&ckpt_path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 EagleError::UnknownFamily(family.to_string())
             } else {
                 EagleError::Io(e)
             }
         })?;
-        let bytes = std::fs::read(&ckpt_path)?;
         let version = format!("{:016x}", fnv1a64(&bytes));
         let state = load_checkpoint(&ckpt_path)?;
         Ok(PolicyEntry {
@@ -160,7 +147,6 @@ impl PolicyStore {
             scale_name: manifest.scale,
             params: state.params,
             version,
-            stamp,
         })
     }
 
@@ -172,8 +158,13 @@ impl PolicyStore {
         let mut entries = self.entries.lock().expect("policy store lock");
         if let Some(current) = entries.get(family).cloned() {
             let ckpt_path = self.family_dir(family)?.join(CHECKPOINT_FILE);
-            match FileStamp::of(&ckpt_path) {
-                Ok(stamp) if stamp == current.stamp => return Ok(current),
+            // Freshness is content identity: hash the bytes and compare with
+            // the served version. A (len, mtime) stamp misses the same-size
+            // rewrite inside one mtime tick that back-to-back publishes hit.
+            match std::fs::read(&ckpt_path) {
+                Ok(bytes) if format!("{:016x}", fnv1a64(&bytes)) == current.version => {
+                    return Ok(current)
+                }
                 // Changed (or temporarily unreadable): attempt a reload, but
                 // never stop serving the version we already have.
                 _ => match self.load_entry(family) {
@@ -330,8 +321,6 @@ mod tests {
         let old = store.get("fam").unwrap();
         assert_eq!(old.version, v1);
 
-        // Ensure the mtime moves even on coarse filesystem clocks.
-        std::thread::sleep(std::time::Duration::from_millis(20));
         let s2 = untrained_state(&graph, &machine, AgentScale::tiny(), 2).unwrap();
         let v2 = publish_state(&root, "fam", "tiny", &s2).unwrap();
         assert_ne!(v1, v2, "different seeds produce different checkpoint bytes");
@@ -342,5 +331,51 @@ mod tests {
         // The old Arc is still fully usable: in-flight requests finish on it.
         assert_eq!(old.version, v1);
         assert_eq!(old.params.len(), s1.params.len());
+    }
+
+    /// Regression: a republish that changes content but keeps the byte length
+    /// AND lands within the filesystem's mtime granularity must still reload.
+    /// The old `(len, mtime)` stamp check served the stale policy forever in
+    /// exactly this case; the test pins the collision by forcing the rewritten
+    /// file back to the original mtime.
+    #[test]
+    fn hot_reload_sees_same_size_same_mtime_rewrite() {
+        let root = tmp("stealth_rewrite");
+        let machine = Machine::small_machine();
+        let graph = Benchmark::InceptionV3.graph_for(&machine);
+        let mut s1 = untrained_state(&graph, &machine, AgentScale::tiny(), 7).unwrap();
+        s1.samples = 1;
+        let v1 = publish_state(&root, "fam", "tiny", &s1).unwrap();
+        let store = PolicyStore::open(&root, Recorder::new());
+        assert_eq!(store.get("fam").unwrap().version, v1);
+
+        let ckpt = root.join("fam").join(CHECKPOINT_FILE);
+        let before = std::fs::metadata(&ckpt).unwrap();
+        let (len, mtime) = (before.len(), before.modified().unwrap());
+
+        // Same seed, different `samples`: different bytes, identical length.
+        // (The header checksum is a decimal u64 whose digit count can move the
+        // total length by a byte, so probe until a republish lands same-size.)
+        let mut v2 = None;
+        for samples in 2..=64u64 {
+            let mut s2 = untrained_state(&graph, &machine, AgentScale::tiny(), 7).unwrap();
+            s2.samples = samples;
+            let v = publish_state(&root, "fam", "tiny", &s2).unwrap();
+            if std::fs::metadata(&ckpt).unwrap().len() == len {
+                v2 = Some(v);
+                break;
+            }
+        }
+        let v2 = v2.expect("some samples value republishes at the original length");
+        assert_ne!(v1, v2, "content must actually differ");
+        // Pin the mtime back so a (len, mtime) stamp cannot tell them apart.
+        let f = std::fs::OpenOptions::new().write(true).open(&ckpt).unwrap();
+        f.set_modified(mtime).unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+
+        let fresh = store.get("fam").unwrap();
+        assert_eq!(fresh.version, v2, "stale policy served across a stealth rewrite");
+        assert_eq!(fresh.params.len(), s1.params.len());
     }
 }

@@ -51,7 +51,8 @@ fn wire_schema_v1_is_pinned() {
             "graph_key",
             "machine",
             "candidates",
-            "seed"
+            "seed",
+            "deadline_ms"
         ]
     );
     assert_eq!(v["type"].as_str(), Some("place"));
@@ -97,8 +98,18 @@ fn wire_schema_v1_is_pinned() {
         Response::Place(PlaceResponse::failure(3, &EagleError::UnknownFamily("gnmt".into())));
     let v: Value = serde_json::from_str(&api::encode_response(&resp)).unwrap();
     assert!(matches!(v["placement"], Value::Null));
-    assert_eq!(keys(&v["error"]), vec!["code", "message"]);
+    assert_eq!(keys(&v["error"]), vec!["code", "message", "retry_after_ms"]);
     assert_eq!(v["error"]["code"].as_str(), Some("UnknownFamily"));
+    assert!(matches!(v["error"]["retry_after_ms"], Value::Null), "hint is null off Overloaded");
+
+    // `place_result` overload shape: the one error that carries a retry hint.
+    let resp = Response::Place(PlaceResponse::failure(
+        4,
+        &EagleError::Overloaded { queued: 8, capacity: 8, retry_after_ms: 12 },
+    ));
+    let v: Value = serde_json::from_str(&api::encode_response(&resp)).unwrap();
+    assert_eq!(v["error"]["code"].as_str(), Some("Overloaded"));
+    assert_eq!(v["error"]["retry_after_ms"].as_u64(), Some(12));
 
     // `register_graph` request and reply.
     let req = Request::RegisterGraph(RegisterGraphRequest {
@@ -132,12 +143,48 @@ fn error_codes_are_pinned() {
         (ErrorCode::UnknownGraphKey, "UnknownGraphKey"),
         (ErrorCode::PolicyMismatch, "PolicyMismatch"),
         (ErrorCode::Infeasible, "Infeasible"),
+        (ErrorCode::Overloaded, "Overloaded"),
+        (ErrorCode::DeadlineExceeded, "DeadlineExceeded"),
         (ErrorCode::Internal, "Internal"),
     ];
     for (code, name) in pinned {
-        let err = ApiError { code, message: "m".into() };
+        let err = ApiError { code, message: "m".into(), retry_after_ms: None };
         let v = serde_json::to_value(&err);
         assert_eq!(v["code"].as_str(), Some(name), "ErrorCode::{name} wire string");
+    }
+}
+
+#[test]
+fn optional_v1_fields_stay_backward_compatible() {
+    // A pre-admission-control v1 client omits `deadline_ms` entirely (and an
+    // old server's error object omits `retry_after_ms`); both must decode.
+    let line = r#"{"type":"place","schema_version":1,"id":5,"family":"f","graph":null,
+        "graph_key":"00ff00ff00ff00ff","machine":null,"candidates":0,"seed":9}"#
+        .replace('\n', "");
+    match api::decode_request(&line).expect("legacy place line decodes") {
+        Request::Place(req) => {
+            assert_eq!(req.id, 5);
+            assert_eq!(req.deadline_ms, None);
+        }
+        other => panic!("expected place, got {other:?}"),
+    }
+    let line = r#"{"type":"place_result","schema_version":1,"id":5,"placement":null,
+        "predicted_step_time":null,"policy_version":null,
+        "error":{"code":"Internal","message":"m"}}"#
+        .replace('\n', "");
+    match api::decode_response(&line).expect("legacy error reply decodes") {
+        Response::Place(resp) => {
+            assert_eq!(resp.error.expect("carries the error").retry_after_ms, None);
+        }
+        other => panic!("expected place_result, got {other:?}"),
+    }
+
+    // And a deadline-carrying request round-trips through encode/decode.
+    let req = PlaceRequest::by_key(6, "f", "00ff00ff00ff00ff").with_deadline_ms(250);
+    let line = api::encode_request(&Request::Place(req));
+    match api::decode_request(&line).expect("decodes") {
+        Request::Place(req) => assert_eq!(req.deadline_ms, Some(250)),
+        other => panic!("expected place, got {other:?}"),
     }
 }
 

@@ -30,11 +30,15 @@ fn seeded_store(name: &str, graph: &OpGraph, machine: &Machine) -> (std::path::P
 }
 
 fn start_server(root: &std::path::Path) -> Server {
+    start_server_with(root, ServerConfig::default())
+}
+
+fn start_server_with(root: &std::path::Path, config: ServerConfig) -> Server {
     // One recorder across store and router, as the daemon binary wires it, so
     // `serve.policy_*` and `serve.requests` land in the same place.
     let recorder = Recorder::new();
     let store = Arc::new(PolicyStore::open(root, recorder.clone()));
-    Server::start(ServerConfig::default(), store, recorder).expect("server starts")
+    Server::start(config, store, recorder).expect("server starts")
 }
 
 /// The router's decode path, replicated in-process: one agent rebuild around
@@ -203,10 +207,9 @@ fn daemon_hot_reloads_policies_without_dropping_requests() {
     let resp = client.place(PlaceRequest::by_key(1, "inception_v3", &key)).expect("place");
     assert_eq!(resp.policy_version.as_deref(), Some(v1.as_str()));
 
-    // Republish from different weights; the file stamp (len, mtime) changes,
-    // so the store reloads on the next `get`. The sleep guards against mtime
-    // granularity hiding the rewrite.
-    std::thread::sleep(Duration::from_millis(20));
+    // Republish from different weights; the checkpoint's content hash changes,
+    // so the store reloads on the next `get` (mtime granularity is irrelevant
+    // to the content-identity check).
     let state2 = untrained_state(&graph, &machine, AgentScale::tiny(), 2).unwrap();
     let v2 = publish_state(&root, "inception_v3", "tiny", &state2).unwrap();
     assert_ne!(v1, v2, "different weights must yield a different content version");
@@ -227,5 +230,97 @@ fn daemon_hot_reloads_policies_without_dropping_requests() {
         id += 1;
     }
     assert!(server.recorder().counter_value("serve.policy_reloads") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn daemon_sheds_overload_with_typed_replies_and_bounded_queue() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let (root, _) = seeded_store("overload", &graph, &machine);
+    // A deliberately tiny daemon: 4 queue slots, 2-request waves — 16 closed-
+    // loop clients are 4x over capacity, so admission must shed.
+    let queue_capacity = 4;
+    let config = ServerConfig {
+        router: eagle::serve::RouterConfig {
+            queue_capacity,
+            max_wave: 2,
+            coalesce: Duration::from_millis(10),
+            ..eagle::serve::RouterConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = start_server_with(&root, config);
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    let key = setup.register_graph(&graph).expect("register");
+
+    // Every (seed -> placement) a client got back, plus shed/error tallies.
+    let outcomes =
+        std::sync::Mutex::new((Vec::<(u64, Vec<u8>)>::new(), 0u64, Vec::<String>::new()));
+    std::thread::scope(|s| {
+        for c in 0..16u64 {
+            let (key, outcomes) = (key.clone(), &outcomes);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..6u64 {
+                    let seed = c * 100 + i;
+                    let mut req = PlaceRequest::by_key(seed, "inception_v3", &key);
+                    req.seed = seed;
+                    // Transport-level failure = dropped connection = bug; every
+                    // outcome must arrive as a typed reply on the same socket.
+                    let resp = client.place(req).expect("overload must not drop connections");
+                    assert_eq!(resp.id, seed);
+                    let mut o = outcomes.lock().unwrap();
+                    match resp.error {
+                        None => o.0.push((seed, resp.placement.expect("success has placement"))),
+                        Some(err) if err.code == ErrorCode::Overloaded => {
+                            assert!(
+                                err.retry_after_ms.unwrap_or(0) >= 1,
+                                "Overloaded reply must carry a usable retry hint"
+                            );
+                            o.1 += 1;
+                        }
+                        Some(err) => o.2.push(format!("{:?}: {}", err.code, err.message)),
+                    }
+                }
+            });
+        }
+    });
+    let (successes, shed, unexpected) = outcomes.into_inner().unwrap();
+    assert!(unexpected.is_empty(), "non-overload errors under burst: {unexpected:?}");
+    assert!(shed > 0, "16 clients against 4 queue slots must shed something");
+    assert!(!successes.is_empty(), "admitted requests must still be served under burst");
+
+    // Bounded memory: the queue depth at every wave cut stayed within the
+    // admission bound.
+    let depth = server.recorder().histogram("serve.queue_depth").expect("depth histogram");
+    assert!(
+        depth.max <= queue_capacity as f64,
+        "queue depth {} exceeded capacity {queue_capacity}",
+        depth.max
+    );
+    assert_eq!(server.recorder().counter_value("serve.shed"), shed);
+    assert_eq!(server.recorder().counter_value("serve.overloaded"), shed);
+
+    // A zero deadline budget is shed with the *other* typed code.
+    let req = PlaceRequest::by_key(9999, "inception_v3", &key).with_deadline_ms(0);
+    let resp = setup.place(req).expect("reply");
+    assert_eq!(resp.error.as_ref().unwrap().code, ErrorCode::DeadlineExceeded);
+    assert!(resp.error.unwrap().retry_after_ms.is_none());
+
+    // Degradation, not corruption: replies served during the burst are
+    // bit-identical to the same requests served at idle.
+    for (seed, placement) in successes.iter().take(5) {
+        let mut req = PlaceRequest::by_key(*seed, "inception_v3", &key);
+        req.seed = *seed;
+        let resp = setup.place(req).expect("idle replay");
+        assert!(resp.error.is_none(), "idle replay failed: {:?}", resp.error);
+        assert_eq!(
+            resp.placement.as_ref().unwrap(),
+            placement,
+            "seed {seed}: burst-time reply differs from idle reply"
+        );
+    }
     server.shutdown();
 }
