@@ -18,6 +18,14 @@ pub fn group_feature_dim(k: usize) -> usize {
     ALL_OP_KINDS.len() + EXTRA + k
 }
 
+/// Log-compresses a summed group magnitude into `[0, 1]`, matching the clamp
+/// in `eagle_opgraph::features`: groups aggregating many `e^30`-byte tensors
+/// (GraphGen memory-pressure sweeps) used to push the unclamped version past
+/// 1.0, and a NaN/negative annotation maps to 0 instead of propagating.
+fn log_scale(x: f64) -> f32 {
+    (((1.0 + x.max(0.0)).ln() / 30.0).min(1.0)) as f32
+}
+
 /// Builds the `(k, group_feature_dim(k))` group-embedding matrix for a hard
 /// assignment `group_of` (one entry per op, values in `0..k`).
 pub fn group_features(graph: &OpGraph, group_of: &[usize], k: usize) -> Tensor {
@@ -66,9 +74,9 @@ pub fn group_features(graph: &OpGraph, group_of: &[usize], k: usize) -> Tensor {
             out.set(g, j, (1.0 + c).ln());
         }
         let s = nk;
-        out.set(g, s, ((1.0 + flops[g]).ln() / 30.0) as f32);
-        out.set(g, s + 1, ((1.0 + out_bytes[g]).ln() / 30.0) as f32);
-        out.set(g, s + 2, ((1.0 + mem[g]).ln() / 30.0) as f32);
+        out.set(g, s, log_scale(flops[g]));
+        out.set(g, s + 1, log_scale(out_bytes[g]));
+        out.set(g, s + 2, log_scale(mem[g]));
         out.set(g, s + 3, (1.0 + count[g]).ln() / 10.0);
         let mean_pos = if count[g] > 0.0 { (pos_sum[g] / count[g] as f64) as f32 } else { 0.0 };
         out.set(g, s + 4, mean_pos);
@@ -152,5 +160,35 @@ mod tests {
         let f = group_features(&g, &group_of, k);
         assert!(f.all_finite());
         assert!(f.norm() > 0.0);
+    }
+
+    /// Regression: groups summing tensors past e^30 bytes used to emit
+    /// magnitude features > 1.0. The clamp pins them at exactly 1.0 and keeps
+    /// every entry finite, even across a high-memory-pressure GraphGen sweep.
+    #[test]
+    fn magnitude_features_clamped_at_saturation() {
+        assert_eq!(log_scale(1e300), 1.0);
+        assert_eq!(log_scale(f64::NAN), 0.0);
+
+        let cfg = eagle_opgraph::GraphGenConfig {
+            target_ops: 128,
+            memory_pressure: (1e6, 1e9),
+            ..eagle_opgraph::GraphGenConfig::default()
+        };
+        let gen = eagle_opgraph::GraphGen::new(cfg).unwrap();
+        for seed in 0..4 {
+            let g = gen.sample(seed);
+            let k = 6;
+            let group_of: Vec<usize> = (0..g.len()).map(|i| i % k).collect();
+            let f = group_features(&g, &group_of, k);
+            assert!(f.all_finite());
+            let s = ALL_OP_KINDS.len();
+            for grp in 0..k {
+                for j in 0..3 {
+                    let v = f.get(grp, s + j);
+                    assert!((0.0..=1.0).contains(&v), "seed {seed} group {grp} mag {j} = {v}");
+                }
+            }
+        }
     }
 }

@@ -28,8 +28,16 @@ pub const ADJ_DIM: usize = 2 * ALL_OP_KINDS.len();
 /// Total per-op feature dimension produced by [`node_features`].
 pub const FEATURE_DIM: usize = BASE_DIM + ADJ_DIM;
 
+/// Log-compresses a non-negative magnitude into `[0, 1]`.
+///
+/// `ln(1 + x) / 30` saturates at `x = e^30 - 1` (~1.07e13, i.e. ~10 TB when
+/// `x` is bytes or ~10 TFLOP when it is flops). GraphGen's memory-pressure
+/// sweeps produce tensors at and past that point, where the unclamped version
+/// used to leak features > 1.0 into the policy; the clamp pins the range, and
+/// `max(0.0)` additionally maps any negative or NaN input to 0 so one corrupt
+/// cost annotation cannot poison a whole feature matrix.
 fn log_scale(x: f64) -> f32 {
-    ((1.0 + x).ln() / 30.0) as f32
+    (((1.0 + x.max(0.0)).ln() / 30.0).min(1.0)) as f32
 }
 
 /// The op's name scope: the name with its final segment removed and phase markers
@@ -209,6 +217,60 @@ mod tests {
         let idx = ALL_OP_KINDS.len() + 3 + 5;
         assert!(base[0][idx] < base[1][idx]);
         assert!(base[1][idx] < base[2][idx]);
+    }
+
+    #[test]
+    fn log_scale_clamps_extremes() {
+        // Saturation point: e^30 bytes. Beyond it the feature pins at 1.0
+        // instead of drifting out of range.
+        assert!(log_scale(1e12) < 1.0);
+        assert_eq!(log_scale(2e13), 1.0);
+        assert_eq!(log_scale(f64::MAX), 1.0);
+        assert_eq!(log_scale(f64::INFINITY), 1.0);
+        // Degenerate inputs map to the floor, never NaN.
+        assert_eq!(log_scale(0.0), 0.0);
+        assert_eq!(log_scale(-5.0), 0.0);
+        assert_eq!(log_scale(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn isolated_ops_have_zero_not_nan_adjacency() {
+        let mut g = OpGraph::new("isolated");
+        g.add_node(OpNode::new("island", OpKind::Const, Phase::Forward));
+        let a = g.add_node(OpNode::new("a", OpKind::Input, Phase::Forward));
+        let b = g.add_node(OpNode::new("b", OpKind::Loss, Phase::Forward));
+        g.add_edge(a, b);
+        let f = node_features(&g);
+        // The isolated op's whole adjacency summary is exactly zero.
+        assert!(f[0][BASE_DIM..].iter().all(|&v| v == 0.0));
+        for row in &f {
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Every feature stays finite and inside [-1, 1] across a GraphGen sweep
+    /// that deliberately spans memory pressures into the e^30-byte saturation
+    /// regime — the corpus that first exposed the unclamped log_scale.
+    #[test]
+    fn features_finite_and_in_range_over_graphgen_sweep() {
+        let cfg = crate::graphgen::GraphGenConfig {
+            target_ops: 192,
+            memory_pressure: (1e-2, 1e9),
+            ..crate::graphgen::GraphGenConfig::default()
+        };
+        let gen = crate::graphgen::GraphGen::new(cfg).unwrap();
+        for seed in 0..16 {
+            let g = gen.sample(seed);
+            for (i, row) in node_features(&g).iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    assert!(v.is_finite(), "seed {seed} op {i} feature {j} = {v}");
+                    assert!(
+                        (-1.0..=1.0).contains(&v),
+                        "seed {seed} op {i} feature {j} = {v} out of [-1, 1]"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,62 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why a graph edit or query could not be satisfied.
+///
+/// The panicking entry points ([`OpGraph::add_edge`], [`OpGraph::topo_order`])
+/// remain for builder code whose inputs are correct by construction; generators
+/// and anything consuming untrusted or randomized structure should use the
+/// `try_` variants and [`OpGraph::validate`], which report these typed errors
+/// instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint does not name a node of this graph.
+    NodeOutOfRange {
+        /// The offending id.
+        op: OpId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge would connect an op to itself.
+    SelfLoop {
+        /// The op on both ends.
+        op: OpId,
+    },
+    /// The graph contains a directed cycle.
+    Cycle,
+    /// The graph has no operations.
+    Empty,
+    /// An op carries a non-finite or negative cost annotation.
+    BadCost {
+        /// The offending op.
+        op: OpId,
+        /// Which annotation was bad (`"flops"`).
+        what: &'static str,
+    },
+    /// A generator or builder configuration is unusable (zero-width layer,
+    /// zero motif weights, empty ranges, ...). The message names the field.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { op, len } => {
+                write!(f, "op id {} out of range for a graph of {len} nodes", op.0)
+            }
+            GraphError::SelfLoop { op } => write!(f, "self-loop on op id {}", op.0),
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::Empty => write!(f, "graph has no operations"),
+            GraphError::BadCost { op, what } => {
+                write!(f, "op id {} has a non-finite or negative {what}", op.0)
+            }
+            GraphError::BadConfig(msg) => write!(f, "bad graph configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// Identifier of an operation inside one [`OpGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct OpId(pub u32);
@@ -97,6 +153,10 @@ pub const ALL_OP_KINDS: [OpKind; 21] = [
 
 impl OpKind {
     /// Stable index of this kind within [`ALL_OP_KINDS`] (one-hot feature position).
+    ///
+    /// Infallible invariant: every `OpKind` variant appears in [`ALL_OP_KINDS`]
+    /// (`op_kind_feature_indices_unique` exhaustively pins this), so the
+    /// `expect` below is unreachable for any value of `self`.
     pub fn feature_index(self) -> usize {
         ALL_OP_KINDS.iter().position(|&k| k == self).expect("kind present in ALL_OP_KINDS")
     }
@@ -215,14 +275,35 @@ impl OpGraph {
     }
 
     /// Adds a directed edge `from -> to` (producer to consumer). Duplicate edges
-    /// are ignored; self-loops panic.
+    /// are ignored.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range ids — builder code constructs ids
+    /// by insertion, so either indicates a builder bug. Randomized callers
+    /// should use [`OpGraph::try_add_edge`] instead.
     pub fn add_edge(&mut self, from: OpId, to: OpId) {
-        assert_ne!(from, to, "self-loop on {:?} ({})", from, self.nodes[from.index()].name);
+        self.try_add_edge(from, to).unwrap_or_else(|e| panic!("add_edge({from:?}, {to:?}): {e}"));
+    }
+
+    /// Adds a directed edge `from -> to`, reporting self-loops and out-of-range
+    /// endpoints as typed [`GraphError`]s instead of panicking. Duplicate edges
+    /// are ignored.
+    pub fn try_add_edge(&mut self, from: OpId, to: OpId) -> Result<(), GraphError> {
+        let len = self.nodes.len();
+        for op in [from, to] {
+            if op.index() >= len {
+                return Err(GraphError::NodeOutOfRange { op, len });
+            }
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { op: from });
+        }
         if self.succs[from.index()].contains(&to) {
-            return;
+            return Ok(());
         }
         self.succs[from.index()].push(to);
         self.preds[to.index()].push(from);
+        Ok(())
     }
 
     /// Number of operations.
@@ -282,7 +363,14 @@ impl OpGraph {
     ///
     /// # Panics
     /// Panics if the graph contains a cycle (builders must produce DAGs).
+    /// Randomized callers should use [`OpGraph::try_topo_order`] instead.
     pub fn topo_order(&self) -> Vec<OpId> {
+        self.try_topo_order().unwrap_or_else(|e| panic!("topo_order: {e} (graph contains a cycle)"))
+    }
+
+    /// Kahn topological order, reporting a cycle as [`GraphError::Cycle`]
+    /// instead of panicking.
+    pub fn try_topo_order(&self) -> Result<Vec<OpId>, GraphError> {
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
         let mut queue: std::collections::VecDeque<OpId> =
             self.ids().filter(|id| indeg[id.index()] == 0).collect();
@@ -296,8 +384,54 @@ impl OpGraph {
                 }
             }
         }
-        assert_eq!(order.len(), self.len(), "graph contains a cycle");
-        order
+        if order.len() != self.len() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Checks every structural and cost invariant downstream consumers (the
+    /// simulator, the feature extractor, the policies) rely on:
+    ///
+    /// * the graph is non-empty and acyclic,
+    /// * adjacency is internally consistent (every successor edge has a
+    ///   matching predecessor entry, endpoints in range, no self-loops),
+    /// * every op's FLOPs are finite and non-negative.
+    ///
+    /// Generated graphs ([`crate::graphgen::GraphGen`]) additionally guarantee
+    /// that edges always point from a lower id to a higher one (insertion order
+    /// is a topological order); that stronger property is checked by
+    /// [`crate::graphgen::GraphGen::validate`], not here, because hand-built
+    /// graphs are free to insert nodes in any order.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let len = self.len();
+        for (i, succs) in self.succs.iter().enumerate() {
+            let from = OpId(i as u32);
+            for &to in succs {
+                if to.index() >= len {
+                    return Err(GraphError::NodeOutOfRange { op: to, len });
+                }
+                if to == from {
+                    return Err(GraphError::SelfLoop { op: from });
+                }
+                if !self.preds[to.index()].contains(&from) {
+                    return Err(GraphError::NodeOutOfRange { op: from, len });
+                }
+            }
+        }
+        for id in self.ids() {
+            let n = self.node(id);
+            if !n.flops.is_finite() || n.flops < 0.0 {
+                return Err(GraphError::BadCost { op: id, what: "flops" });
+            }
+        }
+        if !self.is_acyclic() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(())
     }
 
     /// True when the graph is a DAG.
@@ -339,6 +473,10 @@ impl OpGraph {
     }
 
     /// Serializes the graph to JSON.
+    ///
+    /// Infallible invariant: `OpGraph` is plain data (strings, numbers, vecs)
+    /// with a derived `Serialize`, and the JSON writer renders every such tree
+    /// (non-finite floats become `null`), so the `expect` is unreachable.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("OpGraph serializes")
     }
@@ -428,6 +566,61 @@ mod tests {
         for (i, k) in ALL_OP_KINDS.iter().enumerate() {
             assert_eq!(k.feature_index(), i);
         }
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_errors() {
+        let mut g = diamond();
+        // Self-loop: formerly an assert panic in add_edge.
+        assert_eq!(g.try_add_edge(OpId(1), OpId(1)), Err(GraphError::SelfLoop { op: OpId(1) }));
+        // Out-of-range endpoints: formerly an index panic.
+        assert_eq!(
+            g.try_add_edge(OpId(0), OpId(99)),
+            Err(GraphError::NodeOutOfRange { op: OpId(99), len: 4 })
+        );
+        assert_eq!(
+            g.try_add_edge(OpId(99), OpId(0)),
+            Err(GraphError::NodeOutOfRange { op: OpId(99), len: 4 })
+        );
+        // Errors leave the graph untouched.
+        assert_eq!(g.num_edges(), 4);
+        // Valid and duplicate edges still work.
+        assert_eq!(g.try_add_edge(OpId(0), OpId(3)), Ok(()));
+        assert_eq!(g.try_add_edge(OpId(0), OpId(3)), Ok(()));
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn try_topo_order_reports_cycle() {
+        let mut g = diamond();
+        assert!(g.try_topo_order().is_ok());
+        g.add_edge(OpId(3), OpId(0));
+        assert_eq!(g.try_topo_order(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn validate_catches_structural_and_cost_violations() {
+        assert_eq!(OpGraph::new("empty").validate(), Err(GraphError::Empty));
+
+        let g = diamond();
+        assert_eq!(g.validate(), Ok(()));
+
+        let mut cyclic = diamond();
+        cyclic.add_edge(OpId(3), OpId(0));
+        assert_eq!(cyclic.validate(), Err(GraphError::Cycle));
+
+        let mut bad = diamond();
+        bad.node_mut(OpId(1)).flops = f64::NAN;
+        assert_eq!(bad.validate(), Err(GraphError::BadCost { op: OpId(1), what: "flops" }));
+        bad.node_mut(OpId(1)).flops = -1.0;
+        assert_eq!(bad.validate(), Err(GraphError::BadCost { op: OpId(1), what: "flops" }));
+    }
+
+    #[test]
+    fn graph_error_display_is_descriptive() {
+        let e = GraphError::NodeOutOfRange { op: OpId(7), len: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        assert!(GraphError::BadConfig("layers = 0".into()).to_string().contains("layers"));
     }
 
     #[test]

@@ -20,5 +20,7 @@
 pub mod builders;
 pub mod features;
 mod graph;
+pub mod graphgen;
 
-pub use graph::{OpGraph, OpId, OpKind, OpNode, Phase, ALL_OP_KINDS};
+pub use graph::{GraphError, OpGraph, OpId, OpKind, OpNode, Phase, ALL_OP_KINDS};
+pub use graphgen::{GraphGen, GraphGenConfig, MotifWeights};

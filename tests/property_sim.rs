@@ -5,8 +5,15 @@
 //! brute-force reference, plus the causal per-link booking properties.
 
 use eagle::devsim::{DeviceId, Machine, Placement, SimOutcome};
-use eagle::opgraph::{OpGraph, OpId, OpKind, OpNode, Phase};
+use eagle::opgraph::{GraphGen, GraphGenConfig, OpGraph, OpId, OpKind, OpNode, Phase};
 use proptest::prelude::*;
+
+/// Case count for the differential-oracle slices. The default 256 is the fast
+/// PR-gating slice; the nightly CI job sets `EAGLE_ORACLE_CASES=10000` (and
+/// runs in release mode) to sweep a 10k+-case corpus.
+fn oracle_cases() -> u32 {
+    std::env::var("EAGLE_ORACLE_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(256)
+}
 
 /// Builds a random DAG: `n` ops, each with edges from up to 3 earlier ops
 /// (guaranteeing acyclicity by construction).
@@ -68,6 +75,34 @@ fn arb_machine() -> impl Strategy<Value = Machine> {
 /// (graph, machine, placement) triple for the differential oracle.
 fn arb_case() -> impl Strategy<Value = (OpGraph, Machine, Placement)> {
     (arb_graph(), arb_machine()).prop_flat_map(|(g, m)| {
+        let n = g.len();
+        let nd = m.num_devices() as u8;
+        (
+            Just(g),
+            Just(m),
+            proptest::collection::vec(0..nd, n)
+                .prop_map(|v| Placement::new(v.into_iter().map(DeviceId).collect())),
+        )
+    })
+}
+
+/// GraphGen-backed oracle case: a realistic generated *training* graph
+/// (backward mirroring, colocation, wide fan-outs, shared variables — none of
+/// which `arb_graph` produces) well beyond its 40-op cap, on a random machine
+/// with a random placement.
+fn arb_graphgen_case() -> impl Strategy<Value = (OpGraph, Machine, Placement)> {
+    ((48usize..=160), any::<u64>(), arb_machine()).prop_flat_map(|(target, seed, m)| {
+        let cfg = GraphGenConfig {
+            target_ops: target,
+            fan_out: (2, 4),
+            depth: (1, 2),
+            batch: (1, 4),
+            // Spans OOM-inducing pressures too: the oracle checks the OOM
+            // gate agreement as well as valid schedules.
+            memory_pressure: (0.25, 64.0),
+            ..GraphGenConfig::default()
+        };
+        let g = GraphGen::new(cfg).expect("oracle generator config is valid").sample(seed);
         let n = g.len();
         let nd = m.num_devices() as u8;
         (
@@ -225,6 +260,44 @@ fn reference_schedule(g: &OpGraph, m: &Machine, p: &Placement) -> (f64, Vec<RefT
     (makespan, transfers)
 }
 
+/// Shared body of the differential oracle: the event engine, its trace
+/// projection, and the brute-force reference must agree exactly — same OOM
+/// verdict, same makespan (bitwise), same booked transfers.
+fn differential_check(g: &OpGraph, m: &Machine, p: &Placement) -> Result<(), TestCaseError> {
+    let sim = eagle::devsim::simulate(g, m, p);
+    let tr = eagle::devsim::trace::trace(g, m, p);
+    match sim {
+        SimOutcome::Oom { .. } => prop_assert!(tr.is_none(), "OOM gates must agree"),
+        SimOutcome::Valid(stats) => {
+            let tr = tr.expect("trace exists whenever simulate is valid");
+            // Engine projections agree bit-for-bit.
+            prop_assert_eq!(tr.step_time, stats.step_time);
+            prop_assert_eq!(tr.transfers.len(), stats.num_transfers);
+            prop_assert_eq!(tr.ops.len(), g.len());
+            let comm: f64 = tr.transfers.iter().map(|t| t.finish - t.start).sum();
+            prop_assert!((comm - stats.comm_time).abs() <= 1e-12 * comm.max(1.0));
+
+            // The independent brute-force reference agrees exactly.
+            let (ref_makespan, ref_transfers) = reference_schedule(g, m, p);
+            prop_assert_eq!(ref_makespan, stats.step_time, "engine vs reference makespan");
+            prop_assert_eq!(ref_transfers.len(), tr.transfers.len());
+            let mut a: Vec<(u32, u8, u8, u64, u64)> = tr
+                .transfers
+                .iter()
+                .map(|t| (t.producer, t.src, t.dst, t.start.to_bits(), t.finish.to_bits()))
+                .collect();
+            let mut b: Vec<(u32, u8, u8, u64, u64)> = ref_transfers
+                .iter()
+                .map(|t| (t.producer, t.src, t.dst, t.start.to_bits(), t.finish.to_bits()))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "engine vs reference booked transfers");
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -359,40 +432,7 @@ proptest! {
 
     #[test]
     fn sim_trace_and_reference_agree((g, m, p) in arb_case()) {
-        let sim = eagle::devsim::simulate(&g, &m, &p);
-        let tr = eagle::devsim::trace::trace(&g, &m, &p);
-        match sim {
-            SimOutcome::Oom { .. } => prop_assert!(tr.is_none(), "OOM gates must agree"),
-            SimOutcome::Valid(stats) => {
-                let tr = tr.expect("trace exists whenever simulate is valid");
-                // Engine projections agree bit-for-bit.
-                prop_assert_eq!(tr.step_time, stats.step_time);
-                prop_assert_eq!(tr.transfers.len(), stats.num_transfers);
-                prop_assert_eq!(tr.ops.len(), g.len());
-                let comm: f64 = tr.transfers.iter().map(|t| t.finish - t.start).sum();
-                prop_assert!((comm - stats.comm_time).abs() <= 1e-12 * comm.max(1.0));
-
-                // The independent brute-force reference agrees exactly.
-                let (ref_makespan, ref_transfers) = reference_schedule(&g, &m, &p);
-                prop_assert_eq!(
-                    ref_makespan, stats.step_time,
-                    "engine vs reference makespan"
-                );
-                prop_assert_eq!(ref_transfers.len(), tr.transfers.len());
-                let mut a: Vec<(u32, u8, u8, u64, u64)> = tr
-                    .transfers
-                    .iter()
-                    .map(|t| (t.producer, t.src, t.dst, t.start.to_bits(), t.finish.to_bits()))
-                    .collect();
-                let mut b: Vec<(u32, u8, u8, u64, u64)> = ref_transfers
-                    .iter()
-                    .map(|t| (t.producer, t.src, t.dst, t.start.to_bits(), t.finish.to_bits()))
-                    .collect();
-                a.sort_unstable();
-                b.sort_unstable();
-                prop_assert_eq!(a, b, "engine vs reference booked transfers");
-            }
-        }
+        differential_check(&g, &m, &p)?;
     }
 
     #[test]
@@ -443,4 +483,89 @@ proptest! {
             prop_assert_eq!(ref_transfers.len(), stats.num_transfers);
         }
     }
+}
+
+// The scaled-up GraphGen-backed oracle: the same exact-agreement contract over
+// realistic generated training graphs (48-160 target ops, backward mirroring,
+// wide fan-outs, shared variables) far beyond arb_graph's 40-op cap.
+// `EAGLE_ORACLE_CASES` tunes the sweep: 256 by default (PR-gating), 10000+ in
+// the nightly job.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
+
+    #[test]
+    fn graphgen_sim_trace_and_reference_agree((g, m, p) in arb_graphgen_case()) {
+        differential_check(&g, &m, &p)?;
+    }
+}
+
+// GraphGen's own contract, property-tested across random configs and seeds:
+// determinism (same seed → bit-identical serialized graph) and validity
+// (every invariant of `GraphGen::validate` holds on every sample).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graphgen_is_seed_deterministic_and_valid(
+        seed in any::<u64>(),
+        target in 32usize..=512,
+        fan_lo in 1usize..=3,
+        fan_span in 0usize..=4,
+        depth_lo in 1usize..=2,
+        depth_span in 0usize..=3,
+        training in any::<bool>(),
+    ) {
+        let cfg = GraphGenConfig {
+            target_ops: target,
+            fan_out: (fan_lo, fan_lo + fan_span),
+            depth: (depth_lo, depth_lo + depth_span),
+            training,
+            ..GraphGenConfig::default()
+        };
+        let gen = GraphGen::new(cfg).expect("constructed config is valid");
+        let a = gen.sample(seed);
+        let b = gen.sample(seed);
+        prop_assert_eq!(a.to_json(), b.to_json(), "same seed must be bit-identical");
+        if let Err(e) = GraphGen::validate(&a) {
+            return Err(TestCaseError::fail(format!("seed {seed}: invalid sample: {e}")));
+        }
+        // Spot-check downstream usability: topo order exists and features are
+        // finite for every sampled graph, not just the unit-test sweep.
+        prop_assert_eq!(a.topo_order().len(), a.len());
+    }
+}
+
+/// Regression corpus: minimized (graph, machine, placement) shapes that once
+/// disagreed or crashed somewhere in the engine/trace/reference triangle, kept
+/// alive as plain unit checks independent of the random sweeps.
+#[test]
+fn oracle_regression_corpus() {
+    // Shared-variable fan-out: one variable read by two consumers placed on
+    // two different devices — exercises per-destination shipment dedup on the
+    // smallest graph that has it.
+    let mut g = OpGraph::new("regress/shared-var");
+    let v = g.add_node(
+        OpNode::new("w", OpKind::Variable, Phase::Forward).with_out_bytes(1 << 20).with_flops(0.0),
+    );
+    let a = g.add_node(
+        OpNode::new("a", OpKind::MatMul, Phase::Forward).with_flops(1e8).with_out_bytes(1 << 10),
+    );
+    let b = g.add_node(
+        OpNode::new("b", OpKind::MatMul, Phase::Forward).with_flops(1e8).with_out_bytes(1 << 10),
+    );
+    g.add_edge(v, a);
+    g.add_edge(v, b);
+    let m = Machine::paper_machine();
+    let gpus = m.gpu_ids();
+    let p = Placement::new(vec![gpus[0], gpus[0], gpus[1]]);
+    differential_check(&g, &m, &p).unwrap();
+
+    // Zero-cost ops at time 0: every op free, everything placed on one device,
+    // makespans degenerate to launch overheads only.
+    let mut g = OpGraph::new("regress/zero-cost");
+    let x = g.add_node(OpNode::new("x", OpKind::Input, Phase::Forward));
+    let y = g.add_node(OpNode::new("y", OpKind::Reshape, Phase::Forward));
+    g.add_edge(x, y);
+    let p = Placement::new(vec![gpus[0], gpus[1]]);
+    differential_check(&g, &m, &p).unwrap();
 }

@@ -10,6 +10,15 @@
 //! * cases are seeded from a hash of the test name plus the case index, so runs
 //!   are fully reproducible without a persistence file,
 //! * no `#[serde(..)]`-style configuration beyond `ProptestConfig::with_cases`.
+//!
+//! Two environment variables support long fuzz runs (the nightly CI job):
+//! * `PROPTEST_FAILURE_DIR` — when set, the first failing case of each
+//!   property additionally writes `<dir>/<property>.seed` (property name, case
+//!   index, seed, failure message) before panicking, so CI can upload failing
+//!   seeds as artifacts;
+//! * `PROPTEST_REPLAY_SEED` — when set (decimal or `0x`-hex), every property
+//!   runs exactly one case with that seed instead of its normal schedule,
+//!   replaying a persisted failure locally.
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -302,17 +311,55 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Writes the failing seed of `name` to `$PROPTEST_FAILURE_DIR/<name>.seed`
+/// (best-effort) so CI can persist it as an artifact.
+fn persist_failure(name: &str, case: u32, seed: u64, err: &TestCaseError) {
+    let Ok(dir) = std::env::var("PROPTEST_FAILURE_DIR") else { return };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join(format!("{name}.seed"));
+    let _ = std::fs::write(
+        path,
+        format!(
+            "property: {name}\ncase: {case}\nseed: {seed:#x}\n\
+             replay: PROPTEST_REPLAY_SEED={seed:#x} cargo test {name}\nerror: {err}\n"
+        ),
+    );
+}
+
+/// `PROPTEST_REPLAY_SEED`, parsed as decimal or `0x`-prefixed hex.
+fn replay_seed() -> Option<u64> {
+    let s = std::env::var("PROPTEST_REPLAY_SEED").ok()?;
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 /// Runs `cases` seeded cases of a property; panics on the first failure with
-/// the case index and seed so it can be replayed.
+/// the case index and seed so it can be replayed (and persists the seed when
+/// `PROPTEST_FAILURE_DIR` is set).
 pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    if let Some(seed) = replay_seed() {
+        let mut rng = TestRng { inner: ChaCha8Rng::seed_from_u64(seed) };
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest property '{name}' failed replaying seed {seed:#x}: {e}");
+        }
+        return;
+    }
     let base = fnv1a(name);
     for i in 0..config.cases {
         let seed = base ^ ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let mut rng = TestRng { inner: ChaCha8Rng::seed_from_u64(seed) };
         if let Err(e) = case(&mut rng) {
+            persist_failure(name, i + 1, seed, &e);
             panic!(
                 "proptest property '{name}' failed at case {}/{} (seed {seed:#x}): {e}",
                 i + 1,

@@ -208,7 +208,7 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Parses a JSON string into any deserializable value.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
     parser.skip_ws();
     let content = parser.parse_value()?;
     parser.skip_ws();
@@ -281,9 +281,19 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the recursive-descent parser accepts. The parser
+/// recurses once per `[`/`{` level, so without a cap an adversarial input like
+/// `[[[[...` overflows the thread stack — an abort no caller can catch (found
+/// by the checkpoint-decoder fuzzer). 128 matches upstream serde_json's
+/// default and is an order of magnitude deeper than any value this workspace
+/// serializes.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level, checked against [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -336,7 +346,25 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(Error::msg(format!(
+                "recursion limit exceeded: more than {MAX_PARSE_DEPTH} nested containers at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Content, Error> {
+        self.enter()?;
+        let result = self.parse_array_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_array_inner(&mut self) -> Result<Content, Error> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -360,6 +388,13 @@ impl Parser<'_> {
     }
 
     fn parse_object(&mut self) -> Result<Content, Error> {
+        self.enter()?;
+        let result = self.parse_object_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_object_inner(&mut self) -> Result<Content, Error> {
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -568,6 +603,35 @@ mod tests {
         assert!(from_str::<Value>("[1,]").is_err());
         assert!(from_str::<Value>("12 34").is_err());
         assert!(from_str::<Value>(r#""unterminated"#).is_err());
+    }
+
+    /// Regression (checkpoint fuzzer): deeply nested input used to recurse
+    /// once per bracket and overflow the stack — an uncatchable abort. It must
+    /// instead come back as an ordinary parse error, while legal nesting well
+    /// past anything this workspace serializes still parses.
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        for open in ["[", "{\"k\":"] {
+            let attack = open.repeat(100_000);
+            let err = from_str::<Value>(&attack).unwrap_err();
+            assert!(err.to_string().contains("recursion limit"), "got: {err}");
+        }
+        // A closed 1M-bracket document fails the same way.
+        let deep = format!("{}{}", "[".repeat(1_000_000), "]".repeat(1_000_000));
+        assert!(from_str::<Value>(&deep).is_err());
+        // At the limit: MAX_PARSE_DEPTH levels parse fine.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(super::MAX_PARSE_DEPTH),
+            "]".repeat(super::MAX_PARSE_DEPTH)
+        );
+        assert!(from_str::<Value>(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(super::MAX_PARSE_DEPTH + 1),
+            "]".repeat(super::MAX_PARSE_DEPTH + 1)
+        );
+        assert!(from_str::<Value>(&too_deep).is_err());
     }
 
     #[test]
