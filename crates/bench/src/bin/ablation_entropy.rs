@@ -2,8 +2,8 @@
 //! (the paper fixes it at 0.01).
 
 use eagle_bench::{fmt_time, Cli};
-use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
-use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_core::{Algo, EagleAgent, GraphSource, Trainer, TrainerConfig};
+use eagle_devsim::{Benchmark, Machine, MeasureConfig};
 use eagle_tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -16,18 +16,19 @@ fn main() {
     println!("Ablation: entropy coefficient, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("ent_coef,step_time,invalid\n");
     for coef in [0.0f32, 0.01, 0.05, 0.2] {
-        let mut env = Environment::builder(graph.clone(), machine.clone())
-            .measure(MeasureConfig::default())
-            .seed(43)
-            .recorder(cli.recorder.clone())
-            .build()
-            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
         let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
         cfg.optim.ent_coef = coef;
-        let r = train(&agent, &mut params, &mut env, &cfg);
+        let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+            .config(cfg)
+            .measure(MeasureConfig::default())
+            .env_seed(43)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation trainer");
+        let r = trainer.train(&agent, &mut params).expect("training run failed");
         println!(
             "  ent_coef={coef:<5} -> {} (invalid {})",
             fmt_time(r.final_step_time),

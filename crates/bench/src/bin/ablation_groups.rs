@@ -2,8 +2,8 @@
 //! more groups = finer placement control but a longer decode sequence).
 
 use eagle_bench::{fmt_time, Cli};
-use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
-use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_core::{Algo, EagleAgent, GraphSource, Trainer, TrainerConfig};
+use eagle_devsim::{Benchmark, Machine, MeasureConfig};
 use eagle_tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -16,19 +16,20 @@ fn main() {
     println!("Ablation: group count, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("num_groups,step_time,invalid\n");
     for k in [8usize, 16, 32, 64] {
-        let mut env = Environment::builder(graph.clone(), machine.clone())
-            .measure(MeasureConfig::default())
-            .seed(44)
-            .recorder(cli.recorder.clone())
-            .build()
-            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let mut scale = cli.scale;
         scale.num_groups = k;
         let agent = EagleAgent::new(&mut params, &graph, &machine, scale, &mut rng);
         let cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
-        let r = train(&agent, &mut params, &mut env, &cfg);
+        let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+            .config(cfg)
+            .measure(MeasureConfig::default())
+            .env_seed(44)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation trainer");
+        let r = trainer.train(&agent, &mut params).expect("training run failed");
         println!("  k={k:<4} -> {} (invalid {})", fmt_time(r.final_step_time), r.num_invalid);
         csv.push_str(&format!("{k},{},{}\n", fmt_time(r.final_step_time), r.num_invalid));
     }

@@ -2,8 +2,8 @@
 //! `-log(1+t)`) for EAGLE(PPO) on GNMT. Supports DESIGN.md's design-choice index.
 
 use eagle_bench::{fmt_time, Cli};
-use eagle_core::{train, Algo, EagleAgent, TrainerConfig};
-use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_core::{Algo, EagleAgent, GraphSource, Trainer, TrainerConfig};
+use eagle_devsim::{Benchmark, Machine, MeasureConfig};
 use eagle_rl::RewardTransform;
 use eagle_tensor::Params;
 use rand::SeedableRng;
@@ -17,18 +17,19 @@ fn main() {
     println!("Ablation: reward transform, EAGLE(PPO) on GNMT (scale = {})", cli.scale_name);
     let mut csv = String::from("transform,step_time,invalid\n");
     for tr in [RewardTransform::NegSqrt, RewardTransform::NegLinear, RewardTransform::NegLog] {
-        let mut env = Environment::builder(graph.clone(), machine.clone())
-            .measure(MeasureConfig::default())
-            .seed(41)
-            .recorder(cli.recorder.clone())
-            .build()
-            .expect("valid ablation environment");
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
         let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
         let mut cfg = TrainerConfig::paper(Algo::Ppo, cli.samples_for(b));
         cfg.reward = tr;
-        let r = train(&agent, &mut params, &mut env, &cfg);
+        let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+            .config(cfg)
+            .measure(MeasureConfig::default())
+            .env_seed(41)
+            .recorder(cli.recorder.clone())
+            .build()
+            .expect("valid ablation trainer");
+        let r = trainer.train(&agent, &mut params).expect("training run failed");
         println!(
             "  {:<10} -> {} (invalid {})",
             tr.label(),

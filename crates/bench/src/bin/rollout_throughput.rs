@@ -29,8 +29,10 @@
 //! exits non-zero if any ratio regressed by more than 25%.
 
 use eagle_bench::Cli;
-use eagle_core::{train, Algo, EagleAgent, PlacementAgent, TrainResult, TrainerConfig};
-use eagle_devsim::{resolve_workers, Benchmark, Environment, Machine, MeasureConfig, Placement};
+use eagle_core::{
+    Algo, EagleAgent, GraphSource, PlacementAgent, TrainResult, Trainer, TrainerConfig,
+};
+use eagle_devsim::{resolve_workers, Benchmark, Machine, MeasureConfig, Placement};
 use eagle_rl::{fork_streams, StochasticPolicy};
 use eagle_tensor::{optim::Adam, set_matmul_kernel, Grads, MatmulKernel, Params};
 use rand::{RngCore, SeedableRng};
@@ -53,13 +55,6 @@ fn run_mode(b: Benchmark, mode: &Mode, cli: &Cli, samples: usize) -> (TrainResul
     let machine = Machine::paper_machine();
     let graph = b.graph_for(&machine);
     let cache_capacity = if mode.cache { eagle_devsim::DEFAULT_CACHE_CAPACITY } else { 0 };
-    let mut env = Environment::builder(graph.clone(), machine.clone())
-        .measure(MeasureConfig::default())
-        .seed(1000 + cli.seed)
-        .cache_capacity(cache_capacity)
-        .recorder(cli.recorder.clone())
-        .build()
-        .expect("valid throughput environment");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
     let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
@@ -67,7 +62,15 @@ fn run_mode(b: Benchmark, mode: &Mode, cli: &Cli, samples: usize) -> (TrainResul
     cfg.seed = cli.seed.wrapping_add(13);
     cfg.workers = mode.workers;
     let start = std::time::Instant::now();
-    let result = train(&agent, &mut params, &mut env, &cfg);
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(1000 + cli.seed)
+        .cache_capacity(cache_capacity)
+        .recorder(cli.recorder.clone())
+        .build()
+        .expect("valid throughput trainer");
+    let result = trainer.train(&agent, &mut params).expect("training run failed");
     (result, start.elapsed().as_secs_f64())
 }
 

@@ -5,8 +5,8 @@
 //! telemetry design budgets at <2% (see DESIGN.md, "Telemetry").
 
 use eagle_bench::Cli;
-use eagle_core::{train, Algo, EagleAgent, TrainResult, TrainerConfig};
-use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_core::{Algo, EagleAgent, GraphSource, TrainResult, Trainer, TrainerConfig};
+use eagle_devsim::{Benchmark, Machine, MeasureConfig};
 use eagle_obs::Recorder;
 use eagle_tensor::Params;
 use rand::SeedableRng;
@@ -16,19 +16,20 @@ use serde_json::Value;
 fn run_once(cli: &Cli, samples: usize, recorder: Recorder) -> (TrainResult, f64) {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let mut env = Environment::builder(graph.clone(), machine.clone())
-        .measure(MeasureConfig::default())
-        .seed(1000 + cli.seed)
-        .recorder(recorder)
-        .build()
-        .expect("valid overhead environment");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
     let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
     let mut cfg = TrainerConfig::paper(Algo::Ppo, samples);
     cfg.seed = cli.seed.wrapping_add(13);
     let start = std::time::Instant::now();
-    let result = train(&agent, &mut params, &mut env, &cfg);
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(1000 + cli.seed)
+        .recorder(recorder)
+        .build()
+        .expect("valid overhead trainer");
+    let result = trainer.train(&agent, &mut params).expect("training run failed");
     (result, start.elapsed().as_secs_f64())
 }
 

@@ -24,10 +24,10 @@
 #![warn(missing_docs)]
 
 use eagle_core::{
-    load_checkpoint, train, train_from, AgentScale, Algo, Curve, EagleAgent, FixedGroupAgent,
-    HpAgent, PlacementAgent, PlacerKind, TrainResult, TrainerConfig, CHECKPOINT_FILE,
+    load_checkpoint, AgentScale, Algo, Curve, EagleAgent, FixedGroupAgent, GraphSource, HpAgent,
+    PlacementAgent, PlacerKind, TrainResult, Trainer, TrainerConfig, CHECKPOINT_FILE,
 };
-use eagle_devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle_devsim::{Benchmark, Machine, MeasureConfig};
 use eagle_obs::Recorder;
 use eagle_partition::{fluid::FluidCommunities, metis_like::MetisLike, Partitioner};
 use eagle_tensor::Params;
@@ -293,12 +293,11 @@ pub struct RunOutcome {
 pub fn train_resumable(
     agent: &impl PlacementAgent,
     params: &mut Params,
-    env: &mut Environment,
-    cfg: &TrainerConfig,
+    trainer: &Trainer,
     resume: bool,
 ) -> TrainResult {
     if resume {
-        if let Some(dir) = &cfg.checkpoint_dir {
+        if let Some(dir) = &trainer.config().checkpoint_dir {
             let path = dir.join(CHECKPOINT_FILE);
             match load_checkpoint(&path) {
                 Ok(state) => {
@@ -307,9 +306,9 @@ pub fn train_resumable(
                         agent.name(),
                         path.display(),
                         state.samples,
-                        cfg.total_samples
+                        trainer.config().total_samples
                     );
-                    return train_from(agent, params, env, cfg, state).unwrap_or_else(|e| {
+                    return trainer.train_from(agent, params, state).unwrap_or_else(|e| {
                         eprintln!("cannot resume from {}: {e}", path.display());
                         std::process::exit(3);
                     });
@@ -324,7 +323,7 @@ pub fn train_resumable(
             }
         }
     }
-    train(agent, params, env, cfg)
+    trainer.train(agent, params).expect("training run failed")
 }
 
 /// Trains the given agent kind on a benchmark and returns the outcome.
@@ -332,17 +331,17 @@ pub fn train_resumable(
 pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
     let machine = Machine::paper_machine();
     let graph = b.graph_for(&machine);
-    let mut env = Environment::builder(graph.clone(), machine.clone())
-        .measure(MeasureConfig::default())
-        .seed(1000 + cli.seed)
-        .recorder(cli.recorder.clone())
-        .build()
-        .expect("benchmark environment is valid");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
     let samples = cli.samples_for(b);
     let mut cfg = TrainerConfig::paper(algo, samples);
     cfg.seed = cli.seed.wrapping_add(13);
+    if kind == AgentKind::HierarchicalPlanner {
+        // HP's per-op grouping decisions make each sample several times more
+        // expensive; cap its budget so tables finish in comparable time (its
+        // convergence behaviour is visible well within this budget).
+        cfg.total_samples = samples.min(samples / 2 + 100);
+    }
     if let Some(root) = &cli.checkpoint_dir {
         // One subdirectory per (benchmark, agent, algorithm) so table binaries
         // that train many agents checkpoint each run independently.
@@ -355,19 +354,22 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
         cfg.checkpoint_dir = Some(root.join(slug));
         cfg.checkpoint_every = Some(cli.checkpoint_every);
     }
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(1000 + cli.seed)
+        .recorder(cli.recorder.clone())
+        .build()
+        .expect("benchmark trainer config is valid");
 
     let result: TrainResult = match kind {
         AgentKind::Eagle => {
             let agent = EagleAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
-            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
+            train_resumable(&agent, &mut params, &trainer, cli.resume)
         }
         AgentKind::HierarchicalPlanner => {
-            // HP's per-op grouping decisions make each sample several times more
-            // expensive; cap its budget so tables finish in comparable time (its
-            // convergence behaviour is visible well within this budget).
-            cfg.total_samples = samples.min(samples / 2 + 100);
             let agent = HpAgent::new(&mut params, &graph, &machine, cli.scale, &mut rng);
-            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
+            train_resumable(&agent, &mut params, &trainer, cli.resume)
         }
         AgentKind::FixedGroups(grouper, placer) => {
             let k = cli.scale.num_groups.min(graph.len());
@@ -383,7 +385,7 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
                 cli.scale,
                 &mut rng,
             );
-            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
+            train_resumable(&agent, &mut params, &trainer, cli.resume)
         }
         AgentKind::Post => {
             let k = cli.scale.num_groups.min(graph.len());
@@ -397,7 +399,7 @@ pub fn run(b: Benchmark, kind: AgentKind, algo: Algo, cli: &Cli) -> RunOutcome {
                 cli.scale,
                 &mut rng,
             );
-            train_resumable(&agent, &mut params, &mut env, &cfg, cli.resume)
+            train_resumable(&agent, &mut params, &trainer, cli.resume)
         }
     };
 

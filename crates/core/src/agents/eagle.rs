@@ -264,6 +264,22 @@ impl PlacementAgent for EagleAgent {
         "EAGLE"
     }
 
+    /// Re-targets the agent to `graph` by swapping the feature tensor; the
+    /// grouper/link/placer handles (and thus every `ParamId`, the action
+    /// space, and the per-sample RNG accounting) are shared with the original,
+    /// so one parameter store trains across all views. No warm start: the
+    /// parameters are already trained (or training) state, not fresh inits.
+    fn for_graph(&self, graph: &OpGraph) -> Option<Self> {
+        Some(Self {
+            grouper: self.grouper.clone(),
+            link: self.link.clone(),
+            placer: self.placer.clone(),
+            features: super::features_tensor(graph),
+            devices: self.devices.clone(),
+            num_groups: self.num_groups,
+        })
+    }
+
     fn decode_batch(&self, params: &Params, actions: &[Vec<usize>]) -> Vec<Placement> {
         // The grouper forward depends only on the parameters, not on the
         // episode: run it once for the whole minibatch.
@@ -288,13 +304,14 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn setup() -> (Params, EagleAgent, OpGraph, Machine) {
-        let g = builders::gnmt(&builders::GnmtConfig {
+        let g = builders::try_gnmt(&builders::GnmtConfig {
             batch: 2,
             hidden: 4,
             layers: 2,
             seq_len: 3,
             vocab: 20,
-        });
+        })
+        .expect("valid GNMT config");
         let m = Machine::paper_machine();
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -347,6 +364,23 @@ mod tests {
             .map(|id| params.grad(id).norm())
             .sum();
         assert!(link_grad > 0.0, "linking RNN receives gradient");
+    }
+
+    #[test]
+    fn for_graph_view_shares_params_and_action_space() {
+        let (params, agent, _, m) = setup();
+        let other = builders::try_inception_v3(&builders::InceptionConfig::default())
+            .expect("inception builds");
+        let view = agent.for_graph(&other).expect("EAGLE re-targets");
+        assert_eq!(view.num_groups(), agent.num_groups());
+        assert_eq!(view.rng_draws_per_sample(), agent.rng_draws_per_sample());
+        // The view samples and decodes valid placements for the *new* graph
+        // using the original parameter store — no re-registration.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (actions, _) = view.sample(&params, &mut rng);
+        let placement = view.decode(&params, &actions);
+        assert_eq!(placement.len(), other.len());
+        assert!(placement.validate(&other, &m).is_ok());
     }
 
     #[test]

@@ -231,13 +231,14 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn graph() -> OpGraph {
-        builders::gnmt(&builders::GnmtConfig {
+        builders::try_gnmt(&builders::GnmtConfig {
             batch: 2,
             hidden: 4,
             layers: 2,
             seq_len: 3,
             vocab: 20,
         })
+        .expect("valid GNMT config")
     }
 
     fn build(kind: PlacerKind) -> (Params, FixedGroupAgent, OpGraph, Machine) {

@@ -35,6 +35,25 @@ pub trait PlacementAgent: StochasticPolicy {
             .pop()
             .expect("decode_batch returns one placement per action vector")
     }
+
+    /// Re-targets this agent to a different op graph, sharing the *same*
+    /// parameters (and therefore the same action space and
+    /// [`StochasticPolicy::rng_draws_per_sample`] accounting), or `None` when
+    /// the agent's decode state is married to its construction graph.
+    ///
+    /// This is what lets one policy train over a whole distribution of graphs:
+    /// the multi-graph trainer builds one view per drawn graph and
+    /// samples/scores/decodes through it, while updates flow into the shared
+    /// parameter store. The default is `None` — graph-specific baselines like
+    /// the fixed-grouping agents opt out, and the trainer reports a typed
+    /// `UnsupportedAgent` error instead of silently mis-placing.
+    fn for_graph(&self, graph: &eagle_opgraph::OpGraph) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = graph;
+        None
+    }
 }
 
 /// The action-index -> device mapping shared by all agents: action `a` selects

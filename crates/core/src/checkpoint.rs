@@ -39,6 +39,7 @@ use eagle_tensor::optim::Adam;
 use eagle_tensor::Params;
 
 use crate::curve::Curve;
+use crate::source::{GraphOrigin, SourceState};
 
 /// First byte sequence of every checkpoint header; identifies the file type.
 pub const CHECKPOINT_MAGIC: &str = "eagle-checkpoint";
@@ -46,7 +47,12 @@ pub const CHECKPOINT_MAGIC: &str = "eagle-checkpoint";
 /// Current checkpoint schema version. Bump whenever [`TrainerState`] (or the
 /// types it embeds) changes shape; [`load_checkpoint`] rejects other versions
 /// with [`CheckpointError::SchemaVersion`] instead of misdecoding silently.
-pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: multi-graph trainer state — the single `baseline`/`best`/`env` fields
+/// became a vector of per-graph [`GraphEntryState`]s, plus the graph-source
+/// cursor (`source`), the trainer-level wall-clock (`wall`) and the
+/// retired-environment counter snapshot (`retired_snapshot`).
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
 
 /// Conventional checkpoint file name inside a `--checkpoint-dir` directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.json";
@@ -125,14 +131,35 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// One resident graph of the trainer's environment pool, as checkpointed:
+/// the graph's origin (rebuildable from the source), its complete environment
+/// state, its reward baseline and its best placement.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GraphEntryState {
+    /// Source origin the graph is rebuilt from on resume.
+    pub origin: GraphOrigin,
+    /// Human-readable graph name.
+    pub name: String,
+    /// Complete environment state: noise-RNG position, counters, simulated
+    /// wall-clock, best placement, and the full placement cache in FIFO order.
+    pub env: EnvState,
+    /// Per-graph EMA reward baseline.
+    pub baseline: EmaBaseline,
+    /// Best placement sampled on this graph and its measured per-step time.
+    pub best: Option<(f64, Placement)>,
+    /// Training samples spent on this graph.
+    pub graph_samples: u64,
+}
+
 /// The complete mutable state of a training run at a minibatch boundary.
 ///
-/// Everything the resumable loop in [`crate::train_from`] needs to continue
-/// exactly where the interrupted run stopped: restoring this state and re-running
-/// produces bit-identical curves, parameters, and best placements to the
-/// uninterrupted run (locked by `tests/checkpoint_resume.rs`). The immutable
-/// inputs — op graph, machine, agent architecture, [`crate::TrainerConfig`] — are
-/// *not* stored; the caller reconstructs those and must pass the same ones.
+/// Everything the resumable loop in [`crate::Trainer::train_from`] needs to
+/// continue exactly where the interrupted run stopped: restoring this state and
+/// re-running produces bit-identical curves, parameters, and best placements to
+/// the uninterrupted run (locked by `tests/checkpoint_resume.rs`). The immutable
+/// inputs — graph source, machine, agent architecture, [`crate::TrainerConfig`]
+/// — are *not* stored; the caller reconstructs those and must pass the same
+/// ones.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct TrainerState {
     /// Samples drawn so far.
@@ -145,14 +172,16 @@ pub struct TrainerState {
     pub since_ce: u64,
     /// Trainer sampling-RNG position.
     pub rng: RngState,
-    /// EMA reward baseline.
-    pub baseline: EmaBaseline,
+    /// Graph-source cursor position (stream RNG + draw count), so a resumed
+    /// multi-graph run continues the *same* graph sequence.
+    pub source: SourceState,
+    /// Trainer-level simulated wall-clock (the curve's x-axis), summed across
+    /// all graphs in episode order.
+    pub wall: f64,
     /// Rolling window of sampled action sequences (CE elite pool), oldest first.
     pub history_actions: Vec<Vec<usize>>,
     /// Rewards aligned with `history_actions`.
     pub history_rewards: Vec<f64>,
-    /// Best placement found so far and its measured per-step time.
-    pub best: Option<(f64, Placement)>,
     /// The training curve so far (its label doubles as the agent identity check
     /// on resume).
     pub curve: Curve,
@@ -164,12 +193,16 @@ pub struct TrainerState {
     pub opt_ppo: Adam,
     /// Cross-entropy optimizer state.
     pub opt_ce: Adam,
-    /// Complete environment state: noise-RNG position, counters, simulated
-    /// wall-clock, best placement, and the full placement cache in FIFO order.
-    pub env: EnvState,
-    /// Environment snapshot taken when the run *started* — the baseline the
-    /// end-of-run telemetry diff is computed against, carried across resumes so
-    /// the final [`eagle_obs::Telemetry`] describes the whole logical run.
+    /// Resident per-graph pool entries in FIFO (insertion) order — one entry
+    /// for single-graph sources.
+    pub entries: Vec<GraphEntryState>,
+    /// Accumulated counters of environments evicted from the pool, so run
+    /// telemetry describes the whole run even after evictions.
+    pub retired_snapshot: EnvSnapshot,
+    /// Aggregate environment snapshot taken when the run *started* — the
+    /// baseline the end-of-run telemetry diff is computed against, carried
+    /// across resumes so the final [`eagle_obs::Telemetry`] describes the
+    /// whole logical run.
     pub start_snapshot: EnvSnapshot,
 }
 
@@ -329,16 +362,24 @@ mod tests {
             num_invalid: 0,
             since_ce: 1,
             rng: RngState::capture(&rng),
-            baseline,
+            source: SourceState::initial(0),
+            wall: 0.5,
             history_actions: vec![vec![0, 1, 2]],
             history_rewards: vec![-1.0],
-            best: Some((2.0, p)),
             curve,
             params,
             opt_reinforce: Adam::new(0.01),
             opt_ppo: Adam::new(0.01),
             opt_ce: Adam::new(0.01),
-            env: env.save_state(),
+            entries: vec![GraphEntryState {
+                origin: GraphOrigin::fixed(),
+                name: graph.model_name.clone(),
+                env: env.save_state(),
+                baseline,
+                best: Some((2.0, p)),
+                graph_samples: 1,
+            }],
+            retired_snapshot: EnvSnapshot::default(),
             start_snapshot: EnvSnapshot::default(),
         }
     }
@@ -351,13 +392,19 @@ mod tests {
         let restored = load_checkpoint(&path).unwrap();
         assert_eq!(restored.samples, state.samples);
         assert_eq!(restored.rng, state.rng);
-        assert_eq!(restored.baseline, state.baseline);
+        assert_eq!(restored.source, state.source);
+        assert_eq!(restored.wall.to_bits(), state.wall.to_bits());
         assert_eq!(restored.history_actions, state.history_actions);
         assert_eq!(restored.history_rewards, state.history_rewards);
         assert_eq!(restored.curve.points, state.curve.points);
-        assert_eq!(restored.env, state.env);
-        let (t0, p0) = state.best.as_ref().unwrap();
-        let (t1, p1) = restored.best.as_ref().unwrap();
+        assert_eq!(restored.entries.len(), 1);
+        assert_eq!(restored.entries[0].origin, state.entries[0].origin);
+        assert_eq!(restored.entries[0].name, state.entries[0].name);
+        assert_eq!(restored.entries[0].env, state.entries[0].env);
+        assert_eq!(restored.entries[0].baseline, state.entries[0].baseline);
+        assert_eq!(restored.entries[0].graph_samples, state.entries[0].graph_samples);
+        let (t0, p0) = state.entries[0].best.as_ref().unwrap();
+        let (t1, p1) = restored.entries[0].best.as_ref().unwrap();
         assert_eq!(t0.to_bits(), t1.to_bits(), "float fields round-trip bit-exactly");
         assert_eq!(p0, p1);
         assert_eq!(restored.params.num_scalars(), state.params.num_scalars());

@@ -17,6 +17,20 @@ pub struct CurvePoint {
     pub best_so_far: Option<f64>,
 }
 
+/// One zero-shot evaluation of the policy on a held-out graph, taken during
+/// training without touching the training stream (see
+/// [`Trainer::builder`](crate::Trainer::builder)'s `probe_every`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbePoint {
+    /// Training-sample index the probe was taken at.
+    pub sample: u64,
+    /// Held-out graph name.
+    pub graph: String,
+    /// Best (noise-free) step time over the probe's sampled placements;
+    /// `None` when every candidate OOMed.
+    pub step_time: Option<f64>,
+}
+
 /// A labeled training curve.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Curve {
@@ -24,6 +38,9 @@ pub struct Curve {
     pub label: String,
     /// Points in sampling order.
     pub points: Vec<CurvePoint>,
+    /// Zero-shot probes on held-out graphs, in probe order (empty unless the
+    /// producing trainer had probes enabled).
+    pub probes: Vec<ProbePoint>,
     /// Run telemetry snapshot, when the producing trainer recorded one.
     /// Excluded from curve equality in tests: `episodes_per_sec` is host
     /// time, not simulated time.
@@ -33,7 +50,7 @@ pub struct Curve {
 impl Curve {
     /// Creates an empty curve.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new(), telemetry: None }
+        Self { label: label.into(), points: Vec::new(), probes: Vec::new(), telemetry: None }
     }
 
     /// Appends a measurement, maintaining `best_so_far`.

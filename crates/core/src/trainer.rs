@@ -2,15 +2,31 @@
 //! environment, shapes rewards, and applies the selected RL algorithm — the outer
 //! loop of every experiment in the paper.
 //!
-//! The loop is *resumable*: [`train`] starts fresh, [`train_from`] continues from
-//! a [`TrainerState`] captured at a minibatch boundary (see
-//! [`crate::checkpoint`]), and the two compose bit-identically — a run killed
-//! after minibatch *k* and resumed produces the same curve, parameters and best
-//! placement as an uninterrupted run with the same seed.
+//! The entry point is [`Trainer::builder`], mirroring
+//! [`Environment::builder`](eagle_devsim::Environment::builder): construction
+//! validates every knob up front and returns a typed [`ConfigError`] instead of
+//! silently accepting a zero minibatch or an inconsistent CE schedule. The
+//! trainer owns its environments — it draws one graph per minibatch from a
+//! [`GraphSource`](crate::GraphSource) and measures placements in a per-graph
+//! environment pool, so one policy can train over a whole *distribution* of
+//! graphs (the GDP/Placeto generalist direction). Single-graph training is the
+//! `GraphSource::fixed` special case and keeps the exact sampling and
+//! measurement streams of the classic single-benchmark trainer.
+//!
+//! The loop is *resumable*: [`Trainer::train`] starts fresh,
+//! [`Trainer::train_from`] continues from a [`TrainerState`] captured at a
+//! minibatch boundary (see [`crate::checkpoint`]), and the two compose
+//! bit-identically — a run killed after minibatch *k* and resumed produces the
+//! same curve, parameters and best placement as an uninterrupted run with the
+//! same seed, including the multi-graph state (source cursor, per-graph
+//! environments and baselines).
 
 use std::collections::VecDeque;
 
-use eagle_devsim::{EnvSnapshot, EnvStateError, Environment, Placement, RngState};
+use eagle_devsim::{
+    simulate, EnvError, EnvSnapshot, EnvStateError, Environment, Machine, MeasureConfig, Placement,
+    RngState,
+};
 use eagle_rl::{
     top_k_indices, CrossEntropyMin, EmaBaseline, OptimConfig, Ppo, Reinforce, RewardTransform,
     TrainSample,
@@ -20,11 +36,13 @@ use eagle_tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use eagle_obs::Telemetry;
+use eagle_obs::{Recorder, Telemetry};
+use eagle_opgraph::OpGraph;
 
 use crate::agents::PlacementAgent;
-use crate::checkpoint::{save_checkpoint, TrainerState, CHECKPOINT_FILE};
-use crate::curve::Curve;
+use crate::checkpoint::{save_checkpoint, GraphEntryState, TrainerState, CHECKPOINT_FILE};
+use crate::curve::{Curve, ProbePoint};
+use crate::source::{splitmix64, GraphOrigin, GraphSource, SourceCursor, SourceError};
 
 /// Which training algorithm drives the agent (paper Sec. III-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +93,8 @@ pub struct TrainerConfig {
     /// Reward transform applied to measured per-step times (paper: `-sqrt(t)`).
     pub reward: RewardTransform,
     /// Subtract the EMA baseline from rewards (paper: yes). Disable for ablation.
+    /// Multi-graph sources keep one baseline per graph, so step-time scale
+    /// differences between graphs do not leak into advantages.
     pub use_baseline: bool,
     /// Normalize advantages to unit scale within each minibatch (standard PPO
     /// practice; makes learning robust to the absolute reward scale, which spans
@@ -135,39 +155,152 @@ impl TrainerConfig {
     }
 }
 
+/// Per-graph outcome of a (possibly multi-graph) training run, for the graphs
+/// still resident in the environment pool when the run finished.
+#[derive(Debug, Clone)]
+pub struct GraphSummary {
+    /// Graph name (roster name, model name, or `gen-<seed>`).
+    pub name: String,
+    /// Source origin the graph was drawn from.
+    pub origin: GraphOrigin,
+    /// Training samples spent on this graph.
+    pub samples: u64,
+    /// Best valid per-step time sampled on this graph.
+    pub best_step_time: Option<f64>,
+}
+
 /// Result of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainResult {
-    /// Best placement found (if any valid placement was sampled).
+    /// Best placement found (if any valid placement was sampled). `None` for
+    /// multi-graph sources, where a single placement is meaningless — see
+    /// [`TrainResult::graphs`].
     pub best_placement: Option<Placement>,
     /// Per-step time of the best placement under the *final* measurement protocol
-    /// (1,000 steps), as the paper reports in its tables.
+    /// (1,000 steps), as the paper reports in its tables. `None` for
+    /// multi-graph sources.
     pub final_step_time: Option<f64>,
-    /// The training curve.
+    /// The training curve (including zero-shot probes, when enabled).
     pub curve: Curve,
     /// Number of invalid (OOM) samples encountered.
     pub num_invalid: usize,
     /// Total samples drawn.
     pub samples: usize,
+    /// Per-graph outcomes for the graphs still resident in the environment
+    /// pool (one entry for single-graph sources).
+    pub graphs: Vec<GraphSummary>,
     /// Run telemetry snapshot (also attached to `curve`).
     pub telemetry: Telemetry,
 }
 
-/// Why a [`TrainerState`] could not be applied to the given agent/params/env.
+/// Why a [`TrainerBuilder`] refused to construct a [`Trainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `minibatch` must be at least 1.
+    ZeroMinibatch,
+    /// `total_samples` must be at least 1.
+    ZeroTotalSamples,
+    /// The PPO+CE schedule needs `ce_interval`, `ce_elites` and `ce_steps`
+    /// all at least 1.
+    BadCeSchedule {
+        /// Configured samples between CE updates.
+        interval: usize,
+        /// Configured elites per CE update.
+        elites: usize,
+        /// Configured gradient steps per CE update.
+        steps: usize,
+    },
+    /// PPO needs at least one epoch per minibatch.
+    ZeroPpoEpochs,
+    /// The EMA baseline weight must be in `(0, 1]`.
+    BadEmaAlpha(f64),
+    /// The optimizer learning rate must be finite and positive.
+    BadLearningRate(f32),
+    /// The invalid-placement penalty time must be finite and non-negative.
+    BadInvalidPenalty(f64),
+    /// `checkpoint_every` must be at least 1 when set.
+    ZeroCheckpointEvery,
+    /// `checkpoint_every` is set but `checkpoint_dir` is not.
+    CheckpointEveryWithoutDir,
+    /// The graph source rejected the configuration (empty roster, bad weight,
+    /// invalid generator config, impossible holdout split).
+    Source(SourceError),
+    /// Zero-shot probes requested (`probe_every`) but the holdout split is
+    /// empty.
+    ProbeWithoutHoldout,
+    /// `probe_every` must be at least 1 when set.
+    ZeroProbeEvery,
+    /// `probe_candidates` must be at least 1.
+    ZeroProbeCandidates,
+    /// The environment pool must hold at least one graph.
+    ZeroPoolCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMinibatch => write!(f, "minibatch must be at least 1"),
+            ConfigError::ZeroTotalSamples => write!(f, "total_samples must be at least 1"),
+            ConfigError::BadCeSchedule { interval, elites, steps } => write!(
+                f,
+                "PPO+CE schedule is inconsistent: ce_interval={interval}, ce_elites={elites}, \
+                 ce_steps={steps} (all must be at least 1)"
+            ),
+            ConfigError::ZeroPpoEpochs => write!(f, "ppo_epochs must be at least 1"),
+            ConfigError::BadEmaAlpha(a) => {
+                write!(f, "ema_alpha must be in (0, 1], got {a}")
+            }
+            ConfigError::BadLearningRate(lr) => {
+                write!(f, "optimizer learning rate must be finite and positive, got {lr}")
+            }
+            ConfigError::BadInvalidPenalty(t) => {
+                write!(f, "invalid_penalty_time must be finite and non-negative, got {t}")
+            }
+            ConfigError::ZeroCheckpointEvery => {
+                write!(f, "checkpoint_every must be at least 1 when set")
+            }
+            ConfigError::CheckpointEveryWithoutDir => {
+                write!(f, "checkpoint_every is set but checkpoint_dir is not")
+            }
+            ConfigError::Source(e) => write!(f, "graph source: {e}"),
+            ConfigError::ProbeWithoutHoldout => {
+                write!(f, "probe_every is set but the holdout split is empty")
+            }
+            ConfigError::ZeroProbeEvery => write!(f, "probe_every must be at least 1 when set"),
+            ConfigError::ZeroProbeCandidates => write!(f, "probe_candidates must be at least 1"),
+            ConfigError::ZeroPoolCapacity => write!(f, "pool_capacity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<SourceError> for ConfigError {
+    fn from(e: SourceError) -> Self {
+        ConfigError::Source(e)
+    }
+}
+
+/// Why a [`TrainerState`] could not be applied to the given agent/params.
 #[derive(Debug)]
 pub enum ResumeError {
     /// The checkpoint was produced by a different agent (curve labels differ).
     AgentMismatch {
         /// Agent label recorded in the checkpoint.
         checkpoint: String,
-        /// Label of the agent passed to [`train_from`].
+        /// Label of the agent passed to [`Trainer::train_from`].
         agent: String,
     },
     /// The checkpointed parameters do not match the agent's parameter layout.
     ParamMismatch(String),
     /// The checkpointed trainer RNG state is malformed.
     Rng(EnvStateError),
-    /// The checkpointed environment state does not fit this environment.
+    /// The checkpointed graph-source cursor is malformed.
+    Source(EnvStateError),
+    /// A checkpointed graph origin does not belong to this trainer's source
+    /// (e.g. resuming a generated-distribution checkpoint with a roster).
+    SourceMismatch(String),
+    /// A checkpointed environment state does not fit its rebuilt environment.
     Env(EnvStateError),
 }
 
@@ -180,6 +313,8 @@ impl std::fmt::Display for ResumeError {
             ),
             ResumeError::ParamMismatch(m) => write!(f, "parameter layout mismatch: {m}"),
             ResumeError::Rng(e) => write!(f, "trainer RNG state: {e}"),
+            ResumeError::Source(e) => write!(f, "graph-source cursor state: {e}"),
+            ResumeError::SourceMismatch(m) => write!(f, "graph source mismatch: {m}"),
             ResumeError::Env(e) => write!(f, "environment state: {e}"),
         }
     }
@@ -187,112 +322,840 @@ impl std::fmt::Display for ResumeError {
 
 impl std::error::Error for ResumeError {}
 
+/// Why a training run failed to start or resume.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A checkpointed state could not be applied (see [`ResumeError`]).
+    Resume(ResumeError),
+    /// An environment for a drawn graph could not be built.
+    Env(EnvError),
+    /// The agent cannot re-target to new graphs
+    /// ([`PlacementAgent::for_graph`] returned `None`), which multi-graph
+    /// sources and holdout probes require.
+    UnsupportedAgent {
+        /// The agent's display name.
+        agent: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Resume(e) => write!(f, "resume: {e}"),
+            TrainError::Env(e) => write!(f, "environment: {e}"),
+            TrainError::UnsupportedAgent { agent } => write!(
+                f,
+                "agent '{agent}' cannot re-target to new graphs; multi-graph training and \
+                 holdout probes need PlacementAgent::for_graph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<ResumeError> for TrainError {
+    fn from(e: ResumeError) -> Self {
+        TrainError::Resume(e)
+    }
+}
+
+impl From<EnvError> for TrainError {
+    fn from(e: EnvError) -> Self {
+        TrainError::Env(e)
+    }
+}
+
+/// One resident graph in the trainer's environment pool: its environment
+/// (placement cache, OOM gate, noise RNG, wall-clock), reward baseline, best
+/// placement and the agent's per-graph view.
+struct PoolEntry<A> {
+    origin: GraphOrigin,
+    name: String,
+    env: Environment,
+    baseline: EmaBaseline,
+    best: Option<(f64, Placement)>,
+    graph_samples: u64,
+    /// `None` for fixed sources — the caller's agent is already built for the
+    /// graph, and using it directly keeps single-graph runs bit-identical to
+    /// the classic trainer.
+    view: Option<A>,
+}
+
 /// All mutable loop state, threaded through `run_loop` so fresh starts and
 /// resumes share one code path.
-struct LoopState {
+struct LoopState<A> {
     rng: ChaCha8Rng,
-    baseline: EmaBaseline,
+    cursor: SourceCursor,
+    pool: Vec<PoolEntry<A>>,
+    /// Accumulated counters of environments evicted from the pool, so run
+    /// telemetry survives eviction.
+    retired: EnvSnapshot,
+    /// Trainer-level simulated wall-clock: the sum of every measurement's
+    /// `wall_cost` in episode order, across all graphs — the monotone x-axis
+    /// of the curve. For fixed sources this is bit-identical to the single
+    /// environment's own wall-clock (both accumulate the same costs in the
+    /// same order).
+    wall: f64,
     curve: Curve,
     history_actions: VecDeque<Vec<usize>>,
     history_rewards: VecDeque<f64>,
     since_ce: usize,
-    best: Option<(f64, Placement)>,
     num_invalid: usize,
     samples: usize,
     minibatches: u64,
-    /// Environment snapshot at the *logical* start of the run (survives
-    /// resumes), used as the telemetry baseline.
+    /// Aggregate environment snapshot at the *logical* start of the run
+    /// (survives resumes), used as the telemetry baseline.
     start: EnvSnapshot,
     /// Optimizer states to restore into the algorithm objects (resume only).
     restored_opts: Option<(Adam, Adam, Adam)>,
 }
 
-/// Runs the full training loop of `agent` against `env`, starting fresh.
-///
-/// Each minibatch is sampled and decoded as *one* batched forward pass
-/// ([`StochasticPolicy::sample_batch`](eagle_rl::StochasticPolicy::sample_batch)
-/// / [`PlacementAgent::decode_batch`]) over per-episode RNG streams forked off
-/// the seeded trainer RNG with [`eagle_rl::fork_streams`]. Batching is
-/// bit-identical to the per-episode path and the master RNG advances exactly
-/// as a serial sampling loop would, so the action sequences — and therefore
-/// the curve, the trained policy and the best placement — are bit-identical
-/// for every `cfg.workers` value and across checkpoint resumes.
-///
-/// With `cfg.checkpoint_every` and `cfg.checkpoint_dir` both set, the loop
-/// additionally saves a resumable [`TrainerState`] every *k* minibatches; pass
-/// a loaded state to [`train_from`] to continue bit-identically.
-pub fn train(
-    agent: &impl PlacementAgent,
-    params: &mut Params,
-    env: &mut Environment,
-    cfg: &TrainerConfig,
-) -> TrainResult {
-    assert!(cfg.minibatch > 0, "minibatch must be positive");
-    let state = LoopState {
-        rng: ChaCha8Rng::seed_from_u64(cfg.seed),
-        baseline: EmaBaseline::new(cfg.ema_alpha),
-        curve: Curve::new(agent.name()),
-        history_actions: VecDeque::new(),
-        history_rewards: VecDeque::new(),
-        since_ce: 0,
-        best: None,
-        num_invalid: 0,
-        samples: 0,
-        minibatches: 0,
-        start: env.snapshot(),
-        restored_opts: None,
-    };
-    run_loop(agent, params, env, cfg, state)
+/// Builds [`Trainer`]s; obtained from [`Trainer::builder`]. Every knob is
+/// validated in [`TrainerBuilder::build`].
+#[derive(Debug)]
+pub struct TrainerBuilder {
+    source: GraphSource,
+    machine: Machine,
+    cfg: TrainerConfig,
+    measure: MeasureConfig,
+    env_seed: u64,
+    cache_capacity: Option<usize>,
+    recorder: Recorder,
+    holdout: usize,
+    probe_every: Option<usize>,
+    probe_candidates: usize,
+    pool_capacity: usize,
 }
 
-/// Resumes training from a checkpointed [`TrainerState`].
-///
-/// The caller reconstructs the immutable inputs exactly as the original run
-/// did — same agent architecture and scale, same environment graph/machine/
-/// measurement config, same `cfg` — and this function restores every mutable
-/// piece: parameters, the three optimizers' moments, the trainer RNG position,
-/// the EMA baseline, the CE history window, the curve, and the environment
-/// (noise RNG, placement cache, wall-clock, counters). The continuation is
-/// bit-identical to the uninterrupted run (locked by
-/// `tests/checkpoint_resume.rs`).
-///
-/// Fails with a typed [`ResumeError`] — never a panic — when the state does not
-/// fit the given agent, parameter layout, or environment; on failure `params`
-/// and `env` are left unmodified.
-pub fn train_from(
-    agent: &impl PlacementAgent,
-    params: &mut Params,
-    env: &mut Environment,
-    cfg: &TrainerConfig,
-    state: TrainerState,
-) -> Result<TrainResult, ResumeError> {
-    assert!(cfg.minibatch > 0, "minibatch must be positive");
-    if state.curve.label != agent.name() {
-        return Err(ResumeError::AgentMismatch {
-            checkpoint: state.curve.label.clone(),
-            agent: agent.name().to_string(),
-        });
+impl TrainerBuilder {
+    /// Sets the training configuration (default:
+    /// `TrainerConfig::paper(Algo::Ppo, 1000)`).
+    pub fn config(mut self, cfg: TrainerConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
-    check_param_layout(params, &state.params)?;
-    let rng = state.rng.restore().map_err(ResumeError::Rng)?;
-    env.restore_state(&state.env).map_err(ResumeError::Env)?;
-    *params = state.params;
 
-    let loop_state = LoopState {
-        rng,
-        baseline: state.baseline,
-        curve: state.curve,
-        history_actions: state.history_actions.into(),
-        history_rewards: state.history_rewards.into(),
-        since_ce: state.since_ce as usize,
-        best: state.best,
-        num_invalid: state.num_invalid as usize,
-        samples: state.samples as usize,
-        minibatches: state.minibatches,
-        start: state.start_snapshot,
-        restored_opts: Some((state.opt_reinforce, state.opt_ppo, state.opt_ce)),
-    };
-    Ok(run_loop(agent, params, env, cfg, loop_state))
+    /// Sets the measurement protocol for every pooled environment (default:
+    /// [`MeasureConfig::default`]).
+    pub fn measure(mut self, measure: MeasureConfig) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the environment noise seed (default 0). Fixed sources use it
+    /// verbatim — matching `Environment::builder(..).seed(s)` — while
+    /// multi-graph sources derive one deterministic seed per graph from it.
+    pub fn env_seed(mut self, seed: u64) -> Self {
+        self.env_seed = seed;
+        self
+    }
+
+    /// Sets the per-environment placement-cache capacity (default: the
+    /// environment's own default).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Attaches a telemetry recorder shared by the trainer and every pooled
+    /// environment (default: disabled).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Holds out the last `holdout` graphs of the source for zero-shot
+    /// evaluation (default 0). Held-out graphs are never drawn for training;
+    /// see [`GraphSource::holdout_origins`] for the split rules.
+    pub fn holdout(mut self, holdout: usize) -> Self {
+        self.holdout = holdout;
+        self
+    }
+
+    /// Runs a zero-shot probe over every held-out graph each `every`
+    /// minibatches, recording results into [`Curve::probes`]. Probes use
+    /// their own derived RNG and the pure simulator, so enabling them leaves
+    /// the training stream bit-identical (locked by `tests/generalist.rs`).
+    pub fn probe_every(mut self, every: usize) -> Self {
+        self.probe_every = Some(every);
+        self
+    }
+
+    /// Placements sampled per held-out graph per probe; the probe reports the
+    /// best (default 4).
+    pub fn probe_candidates(mut self, candidates: usize) -> Self {
+        self.probe_candidates = candidates;
+        self
+    }
+
+    /// Maximum resident per-graph environments (default 16). Generated
+    /// sources draw unboundedly many distinct graphs; the pool evicts FIFO
+    /// and deterministically rebuilds an evicted graph's environment (same
+    /// derived seed, fresh cache) if it is drawn again, so the capacity is
+    /// part of the reproducibility config.
+    pub fn pool_capacity(mut self, capacity: usize) -> Self {
+        self.pool_capacity = capacity;
+        self
+    }
+
+    /// Validates the whole configuration and builds the [`Trainer`].
+    pub fn build(self) -> Result<Trainer, ConfigError> {
+        let cfg = &self.cfg;
+        if cfg.minibatch == 0 {
+            return Err(ConfigError::ZeroMinibatch);
+        }
+        if cfg.total_samples == 0 {
+            return Err(ConfigError::ZeroTotalSamples);
+        }
+        match cfg.algo {
+            Algo::Reinforce => {}
+            Algo::Ppo => {
+                if cfg.ppo_epochs == 0 {
+                    return Err(ConfigError::ZeroPpoEpochs);
+                }
+            }
+            Algo::PpoCe => {
+                if cfg.ppo_epochs == 0 {
+                    return Err(ConfigError::ZeroPpoEpochs);
+                }
+                if cfg.ce_interval == 0 || cfg.ce_elites == 0 || cfg.ce_steps == 0 {
+                    return Err(ConfigError::BadCeSchedule {
+                        interval: cfg.ce_interval,
+                        elites: cfg.ce_elites,
+                        steps: cfg.ce_steps,
+                    });
+                }
+            }
+        }
+        if cfg.use_baseline && !(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0) {
+            return Err(ConfigError::BadEmaAlpha(cfg.ema_alpha));
+        }
+        if !cfg.optim.lr.is_finite() || cfg.optim.lr <= 0.0 {
+            return Err(ConfigError::BadLearningRate(cfg.optim.lr));
+        }
+        if !cfg.invalid_penalty_time.is_finite() || cfg.invalid_penalty_time < 0.0 {
+            return Err(ConfigError::BadInvalidPenalty(cfg.invalid_penalty_time));
+        }
+        match (cfg.checkpoint_every, &cfg.checkpoint_dir) {
+            (Some(0), _) => return Err(ConfigError::ZeroCheckpointEvery),
+            (Some(_), None) => return Err(ConfigError::CheckpointEveryWithoutDir),
+            _ => {}
+        }
+        self.source.validate_holdout(self.holdout)?;
+        match self.probe_every {
+            Some(0) => return Err(ConfigError::ZeroProbeEvery),
+            Some(_) if self.holdout == 0 => return Err(ConfigError::ProbeWithoutHoldout),
+            _ => {}
+        }
+        if self.probe_candidates == 0 {
+            return Err(ConfigError::ZeroProbeCandidates);
+        }
+        if self.pool_capacity == 0 {
+            return Err(ConfigError::ZeroPoolCapacity);
+        }
+        Ok(Trainer {
+            source: self.source,
+            machine: self.machine,
+            cfg: self.cfg,
+            measure: self.measure,
+            env_seed: self.env_seed,
+            cache_capacity: self.cache_capacity,
+            recorder: self.recorder,
+            holdout: self.holdout,
+            probe_every: self.probe_every,
+            probe_candidates: self.probe_candidates,
+            pool_capacity: self.pool_capacity,
+        })
+    }
+}
+
+/// A validated training driver over a [`GraphSource`] and a [`Machine`]. See
+/// the module docs; construct with [`Trainer::builder`].
+#[derive(Debug)]
+pub struct Trainer {
+    source: GraphSource,
+    machine: Machine,
+    cfg: TrainerConfig,
+    measure: MeasureConfig,
+    env_seed: u64,
+    cache_capacity: Option<usize>,
+    recorder: Recorder,
+    holdout: usize,
+    probe_every: Option<usize>,
+    probe_candidates: usize,
+    pool_capacity: usize,
+}
+
+impl Trainer {
+    /// Starts building a trainer over `source` and `machine`.
+    pub fn builder(source: GraphSource, machine: Machine) -> TrainerBuilder {
+        TrainerBuilder {
+            source,
+            machine,
+            cfg: TrainerConfig::paper(Algo::Ppo, 1000),
+            measure: MeasureConfig::default(),
+            env_seed: 0,
+            cache_capacity: None,
+            recorder: Recorder::disabled(),
+            holdout: 0,
+            probe_every: None,
+            probe_candidates: 4,
+            pool_capacity: 16,
+        }
+    }
+
+    /// The validated training configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// The graph source driving the run.
+    pub fn source(&self) -> &GraphSource {
+        &self.source
+    }
+
+    /// The machine placements are measured on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The held-out graphs of the train/holdout split, in holdout order —
+    /// what zero-shot probes and transfer benches evaluate against.
+    pub fn holdout_graphs(&self) -> Vec<(String, OpGraph)> {
+        self.source
+            .holdout_origins(self.holdout)
+            .iter()
+            .map(|o| (self.source.name(o), self.source.build(o)))
+            .collect()
+    }
+
+    /// Runs the full training loop of `agent`, starting fresh.
+    ///
+    /// Each minibatch draws one graph from the source, then is sampled and
+    /// decoded as *one* batched forward pass
+    /// ([`StochasticPolicy::sample_batch`](eagle_rl::StochasticPolicy::sample_batch)
+    /// / [`PlacementAgent::decode_batch`]) over per-episode RNG streams forked
+    /// off the seeded trainer RNG with [`eagle_rl::fork_streams`]. Batching is
+    /// bit-identical to the per-episode path and the master RNG advances
+    /// exactly as a serial sampling loop would, so the action sequences — and
+    /// therefore the curve, the trained policy and the best placement — are
+    /// bit-identical for every `cfg.workers` value and across checkpoint
+    /// resumes.
+    ///
+    /// With `cfg.checkpoint_every` and `cfg.checkpoint_dir` both set, the loop
+    /// additionally saves a resumable [`TrainerState`] every *k* minibatches;
+    /// pass a loaded state to [`Trainer::train_from`] to continue
+    /// bit-identically.
+    pub fn train<A: PlacementAgent>(
+        &self,
+        agent: &A,
+        params: &mut Params,
+    ) -> Result<TrainResult, TrainError> {
+        let state = LoopState {
+            rng: ChaCha8Rng::seed_from_u64(self.cfg.seed),
+            cursor: self.source.initial_cursor(),
+            pool: Vec::new(),
+            retired: EnvSnapshot::default(),
+            wall: 0.0,
+            curve: Curve::new(agent.name()),
+            history_actions: VecDeque::new(),
+            history_rewards: VecDeque::new(),
+            since_ce: 0,
+            num_invalid: 0,
+            samples: 0,
+            minibatches: 0,
+            start: EnvSnapshot::default(),
+            restored_opts: None,
+        };
+        self.run_loop(agent, params, state)
+    }
+
+    /// Resumes training from a checkpointed [`TrainerState`].
+    ///
+    /// The caller reconstructs the immutable inputs exactly as the original
+    /// run did — same agent architecture and scale, same source, machine,
+    /// measurement config and `cfg` — and this function restores every mutable
+    /// piece: parameters, the three optimizers' moments, the trainer RNG
+    /// position, the source cursor, the CE history window, the curve, and
+    /// every pooled per-graph environment (noise RNG, placement cache,
+    /// wall-clock, counters, baseline, best). The continuation is
+    /// bit-identical to the uninterrupted run (locked by
+    /// `tests/checkpoint_resume.rs`).
+    ///
+    /// Fails with a typed [`TrainError`] — never a panic — when the state does
+    /// not fit the given agent, parameter layout, or source; on failure
+    /// `params` is left unmodified.
+    pub fn train_from<A: PlacementAgent>(
+        &self,
+        agent: &A,
+        params: &mut Params,
+        state: TrainerState,
+    ) -> Result<TrainResult, TrainError> {
+        if state.curve.label != agent.name() {
+            return Err(ResumeError::AgentMismatch {
+                checkpoint: state.curve.label.clone(),
+                agent: agent.name().to_string(),
+            }
+            .into());
+        }
+        check_param_layout(params, &state.params)?;
+        let rng = state.rng.restore().map_err(ResumeError::Rng)?;
+        let cursor = SourceCursor::restore(&state.source).map_err(ResumeError::Source)?;
+
+        let mut pool = Vec::with_capacity(state.entries.len());
+        for entry in &state.entries {
+            if !self.source.owns(&entry.origin) {
+                return Err(ResumeError::SourceMismatch(format!(
+                    "checkpointed graph '{}' ({:?}) cannot be rebuilt by {:?}",
+                    entry.name, entry.origin.kind, self.source
+                ))
+                .into());
+            }
+            let graph = self.source.build(&entry.origin);
+            let view = self.make_view(agent, &graph)?;
+            let mut env = self.build_env(&entry.origin, graph)?;
+            env.restore_state(&entry.env).map_err(ResumeError::Env)?;
+            pool.push(PoolEntry {
+                origin: entry.origin,
+                name: entry.name.clone(),
+                env,
+                baseline: entry.baseline.clone(),
+                best: entry.best.clone(),
+                graph_samples: entry.graph_samples,
+                view,
+            });
+        }
+        *params = state.params;
+
+        let loop_state = LoopState {
+            rng,
+            cursor,
+            pool,
+            retired: state.retired_snapshot,
+            wall: state.wall,
+            curve: state.curve,
+            history_actions: state.history_actions.into(),
+            history_rewards: state.history_rewards.into(),
+            since_ce: state.since_ce as usize,
+            num_invalid: state.num_invalid as usize,
+            samples: state.samples as usize,
+            minibatches: state.minibatches,
+            start: state.start_snapshot,
+            restored_opts: Some((state.opt_reinforce, state.opt_ppo, state.opt_ce)),
+        };
+        self.run_loop(agent, params, loop_state)
+    }
+
+    /// Builds the environment for one drawn graph. Fixed sources use
+    /// `env_seed` verbatim (bit-identical to the classic single-env trainer);
+    /// other sources derive a per-graph seed so each graph has its own
+    /// deterministic noise stream.
+    fn build_env(&self, origin: &GraphOrigin, graph: OpGraph) -> Result<Environment, EnvError> {
+        let seed = if self.source.is_fixed() {
+            self.env_seed
+        } else {
+            splitmix64(self.env_seed ^ splitmix64(origin.key))
+        };
+        let mut builder = Environment::builder(graph, self.machine.clone())
+            .seed(seed)
+            .measure(self.measure.clone())
+            .recorder(self.recorder.clone());
+        if let Some(capacity) = self.cache_capacity {
+            builder = builder.cache_capacity(capacity);
+        }
+        builder.build()
+    }
+
+    /// Per-graph agent view: `None` (use the caller's agent directly) for
+    /// fixed sources, a [`PlacementAgent::for_graph`] re-target otherwise.
+    fn make_view<A: PlacementAgent>(
+        &self,
+        agent: &A,
+        graph: &OpGraph,
+    ) -> Result<Option<A>, TrainError> {
+        if self.source.is_fixed() {
+            return Ok(None);
+        }
+        match agent.for_graph(graph) {
+            Some(view) => Ok(Some(view)),
+            None => Err(TrainError::UnsupportedAgent { agent: agent.name().to_string() }),
+        }
+    }
+
+    /// Returns the pool index for `origin`, creating (and possibly evicting)
+    /// an entry if the graph is not resident.
+    fn ensure_entry<A: PlacementAgent>(
+        &self,
+        agent: &A,
+        st: &mut LoopState<A>,
+        origin: &GraphOrigin,
+    ) -> Result<usize, TrainError> {
+        if let Some(i) = st.pool.iter().position(|e| e.origin == *origin) {
+            return Ok(i);
+        }
+        let graph = self.source.build(origin);
+        let view = self.make_view(agent, &graph)?;
+        let env = self.build_env(origin, graph)?;
+        st.pool.push(PoolEntry {
+            origin: *origin,
+            name: self.source.name(origin),
+            env,
+            baseline: EmaBaseline::new(self.cfg.ema_alpha),
+            best: None,
+            graph_samples: 0,
+            view,
+        });
+        if st.pool.len() > self.pool_capacity {
+            let evicted = st.pool.remove(0);
+            add_snapshot(&mut st.retired, &evicted.env.snapshot());
+            self.recorder.add("trainer.pool_evictions", 1);
+        }
+        Ok(st.pool.len() - 1)
+    }
+
+    /// The shared minibatch loop behind [`Trainer::train`] and
+    /// [`Trainer::train_from`].
+    fn run_loop<A: PlacementAgent>(
+        &self,
+        agent: &A,
+        params: &mut Params,
+        mut st: LoopState<A>,
+    ) -> Result<TrainResult, TrainError> {
+        let cfg = &self.cfg;
+        let host_start = std::time::Instant::now();
+        let samples_at_entry = st.samples;
+        let rec = self.recorder.clone();
+        let workers = eagle_devsim::resolve_workers(cfg.workers);
+
+        let mut reinforce = Reinforce::new(cfg.optim.clone()).with_recorder(rec.clone());
+        let mut ppo =
+            Ppo::new(cfg.optim.clone(), cfg.ppo_clip, cfg.ppo_epochs).with_recorder(rec.clone());
+        let mut ce =
+            CrossEntropyMin::new(cfg.optim.clone(), cfg.ce_steps).with_recorder(rec.clone());
+        if let Some((r, p, c)) = st.restored_opts.take() {
+            reinforce.restore_optimizer(r);
+            ppo.restore_optimizer(p);
+            ce.restore_optimizer(c);
+        }
+
+        // Held-out graphs and their agent views, built once up front: probes
+        // must not depend on (or perturb) any training state.
+        let probes: Vec<(String, OpGraph, A)> = match self.probe_every {
+            None => Vec::new(),
+            Some(_) => {
+                let mut out = Vec::new();
+                for origin in self.source.holdout_origins(self.holdout) {
+                    let graph = self.source.build(&origin);
+                    let view = agent.for_graph(&graph).ok_or_else(|| {
+                        TrainError::UnsupportedAgent { agent: agent.name().to_string() }
+                    })?;
+                    out.push((self.source.name(&origin), graph, view));
+                }
+                out
+            }
+        };
+
+        // CE elite pool: a rolling window so memory (and checkpoint size) stays
+        // bounded on long runs, but never smaller than one CE interval.
+        let window = cfg.history_window.max(cfg.ce_interval).max(cfg.ce_elites);
+
+        while st.samples < cfg.total_samples {
+            let batch_size = cfg.minibatch.min(cfg.total_samples - st.samples);
+            rec.add("trainer.minibatches", 1);
+
+            // Draw this minibatch's graph and make it resident. Fixed sources
+            // consume no source randomness here, so single-graph streams are
+            // unchanged from the classic trainer.
+            let origin = self.source.draw_train(&mut st.cursor, self.holdout);
+            let idx = self.ensure_entry(agent, &mut st, &origin)?;
+            let PoolEntry { env, view, baseline, best, graph_samples, .. } = &mut st.pool[idx];
+            let acting: &A = view.as_ref().unwrap_or(agent);
+
+            // Phase A (seeded): draw the minibatch's action sequences in one
+            // batched forward pass. Each episode samples from its own stream
+            // forked off the trainer RNG; `fork_streams` advances the master RNG
+            // past exactly the draws a serial per-episode loop would consume, so
+            // the action stream — and the checkpointed RNG position — is
+            // bit-identical to per-episode sampling. `rng_draws_per_sample` is
+            // graph-independent, so the accounting is uniform across graphs.
+            let sample_span = rec.span("trainer.sample_us");
+            let mut streams =
+                eagle_rl::fork_streams(&mut st.rng, agent.rng_draws_per_sample(), batch_size);
+            let mut rng_refs: Vec<&mut dyn rand::RngCore> =
+                streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
+            let drawn = acting.sample_batch(params, &mut rng_refs);
+            drop(sample_span);
+            let (actions_batch, old_log_probs): (Vec<Vec<usize>>, Vec<f32>) =
+                drawn.into_iter().unzip();
+
+            // Phase B: decode actions into placements — one batched pass, so
+            // parameter-dependent decode state (EAGLE's grouper forward) is
+            // computed once per minibatch instead of once per episode.
+            let decode_span = rec.span("trainer.decode_us");
+            let placements: Vec<Placement> = acting.decode_batch(params, &actions_batch);
+            drop(decode_span);
+
+            // Phase C: evaluate the minibatch in this graph's environment
+            // (cache probes and noise serial, cache-miss simulations parallel —
+            // see `Environment::evaluate_batch`).
+            let evaluate_span = rec.span("trainer.evaluate_us");
+            let measurements = env.evaluate_batch(&placements, workers);
+            drop(evaluate_span);
+            // Rebuild the per-episode wall-clock by accumulating costs in episode
+            // order — the same float additions the serial loop performs, so curve
+            // x-values are bit-identical.
+            let mut wall = st.wall;
+
+            // Phase D (serial): rewards, baseline, curve, policy update — in
+            // episode order.
+            let update_span = rec.span("trainer.update_us");
+            let mut batch: Vec<TrainSample> = Vec::with_capacity(batch_size);
+            for (((actions, old_log_prob), placement), meas) in
+                actions_batch.into_iter().zip(old_log_probs).zip(&placements).zip(&measurements)
+            {
+                st.samples += 1;
+                st.since_ce += 1;
+                *graph_samples += 1;
+                let reward = match meas.step_time {
+                    Some(t) => {
+                        if best.as_ref().is_none_or(|(b, _)| t < *b) {
+                            *best = Some((t, placement.clone()));
+                        }
+                        cfg.reward.apply(t)
+                    }
+                    None => {
+                        st.num_invalid += 1;
+                        cfg.reward.apply(cfg.invalid_penalty_time)
+                    }
+                };
+                wall += meas.wall_cost;
+                st.curve.push(st.samples as u64, wall, meas.step_time);
+                let advantage = if cfg.use_baseline {
+                    baseline.advantage(reward) as f32
+                } else {
+                    reward as f32
+                };
+                st.history_actions.push_back(actions.clone());
+                st.history_rewards.push_back(reward);
+                batch.push(TrainSample { actions, old_log_prob, advantage });
+            }
+            st.wall = wall;
+
+            if cfg.normalize_adv && batch.len() > 1 {
+                let mean = batch.iter().map(|s| s.advantage).sum::<f32>() / batch.len() as f32;
+                let var = batch.iter().map(|s| (s.advantage - mean).powi(2)).sum::<f32>()
+                    / batch.len() as f32;
+                let std = var.sqrt().max(1e-6);
+                for s in &mut batch {
+                    s.advantage /= std;
+                }
+            }
+
+            // Score/update through the same per-graph view that sampled, so
+            // log-probs are computed against this minibatch's graph features.
+            match cfg.algo {
+                Algo::Reinforce => {
+                    reinforce.update(acting, params, &batch);
+                }
+                Algo::Ppo => {
+                    ppo.update(acting, params, &batch);
+                }
+                Algo::PpoCe => {
+                    ppo.update(acting, params, &batch);
+                    if st.since_ce >= cfg.ce_interval {
+                        st.since_ce = 0;
+                        let rewards: &[f64] = st.history_rewards.make_contiguous();
+                        let top = top_k_indices(rewards, cfg.ce_elites);
+                        let elites: Vec<Vec<usize>> =
+                            top.iter().map(|&i| st.history_actions[i].clone()).collect();
+                        ce.update(acting, params, &elites);
+                    }
+                }
+            }
+            drop(update_span);
+
+            // End of minibatch: trim the history window, probe, then
+            // (optionally) checkpoint — trimming first keeps the on-disk state
+            // identical to the in-memory state a resume will rebuild, and
+            // probing first lets checkpoints carry their probe points.
+            while st.history_actions.len() > window {
+                st.history_actions.pop_front();
+                st.history_rewards.pop_front();
+            }
+            st.minibatches += 1;
+
+            if let Some(every) = self.probe_every {
+                if st.minibatches.is_multiple_of(every as u64) {
+                    self.run_probes(&probes, params, &mut st, &rec);
+                }
+            }
+
+            if let (Some(every), Some(dir)) = (cfg.checkpoint_every, &cfg.checkpoint_dir) {
+                if st.minibatches.is_multiple_of(every as u64) {
+                    let snapshot = TrainerState {
+                        samples: st.samples as u64,
+                        minibatches: st.minibatches,
+                        num_invalid: st.num_invalid as u64,
+                        since_ce: st.since_ce as u64,
+                        rng: RngState::capture(&st.rng),
+                        source: st.cursor.capture(),
+                        wall: st.wall,
+                        history_actions: st.history_actions.iter().cloned().collect(),
+                        history_rewards: st.history_rewards.iter().copied().collect(),
+                        curve: st.curve.clone(),
+                        params: params.clone(),
+                        opt_reinforce: reinforce.optimizer().clone(),
+                        opt_ppo: ppo.optimizer().clone(),
+                        opt_ce: ce.optimizer().clone(),
+                        entries: st
+                            .pool
+                            .iter()
+                            .map(|e| GraphEntryState {
+                                origin: e.origin,
+                                name: e.name.clone(),
+                                env: e.env.save_state(),
+                                baseline: e.baseline.clone(),
+                                best: e.best.clone(),
+                                graph_samples: e.graph_samples,
+                            })
+                            .collect(),
+                        retired_snapshot: st.retired,
+                        start_snapshot: st.start,
+                    };
+                    let save = std::fs::create_dir_all(dir)
+                        .map_err(|e| crate::checkpoint::CheckpointError::Io(e).to_string())
+                        .and_then(|()| {
+                            save_checkpoint(&snapshot, dir.join(CHECKPOINT_FILE))
+                                .map_err(|e| e.to_string())
+                        });
+                    match save {
+                        Ok(()) => rec.add("trainer.checkpoints", 1),
+                        Err(e) => {
+                            rec.add("trainer.checkpoint_errors", 1);
+                            eprintln!("warning: checkpoint save to {} failed: {e}", dir.display());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final 1,000-step measurement of the best placement (paper protocol) —
+        // single-graph sources only; a multi-graph run reports per-graph bests
+        // in `TrainResult::graphs` instead.
+        let (best_placement, final_step_time) = match st.pool.first_mut() {
+            Some(entry) if self.source.is_fixed() => match entry.best.clone() {
+                Some((_, p)) => {
+                    let t = entry.env.evaluate_final(&p);
+                    (Some(p), t)
+                }
+                None => (None, None),
+            },
+            _ => (None, None),
+        };
+
+        let mut total = st.retired;
+        for e in &st.pool {
+            add_snapshot(&mut total, &e.env.snapshot());
+        }
+        let run = total.since(&st.start);
+        let elapsed = host_start.elapsed().as_secs_f64();
+        let samples_this_process = st.samples - samples_at_entry;
+        let telemetry = Telemetry {
+            episodes_per_sec: if elapsed > 0.0 {
+                samples_this_process as f64 / elapsed
+            } else {
+                0.0
+            },
+            evals: run.evals,
+            invalid_evals: run.invalid_evals,
+            cache_hits: run.cache.hits,
+            cache_misses: run.cache.misses,
+            cache_evictions: run.cache.evictions,
+            cache_hit_rate: run.cache.hit_rate(),
+            sim_wall_clock: run.wall_clock,
+            workers,
+        };
+        st.curve.telemetry = Some(telemetry);
+
+        let graphs = st
+            .pool
+            .iter()
+            .map(|e| GraphSummary {
+                name: e.name.clone(),
+                origin: e.origin,
+                samples: e.graph_samples,
+                best_step_time: e.best.as_ref().map(|(t, _)| *t),
+            })
+            .collect();
+
+        Ok(TrainResult {
+            best_placement,
+            final_step_time,
+            curve: st.curve,
+            num_invalid: st.num_invalid,
+            samples: st.samples,
+            graphs,
+            telemetry,
+        })
+    }
+
+    /// Zero-shot probe pass over the held-out graphs: sample
+    /// `probe_candidates` placements per graph from a probe-local RNG, decode,
+    /// score with the pure (noise-free) simulator, and record the best into
+    /// the curve. Touches no training state — not the trainer RNG, not the
+    /// environments — so probing on/off leaves training bit-identical.
+    fn run_probes<A: PlacementAgent>(
+        &self,
+        probes: &[(String, OpGraph, A)],
+        params: &Params,
+        st: &mut LoopState<A>,
+        rec: &Recorder,
+    ) {
+        let span = rec.span("trainer.probe_us");
+        for (hi, (name, graph, view)) in probes.iter().enumerate() {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(probe_seed(self.cfg.seed, st.minibatches, hi as u64));
+            let mut streams = eagle_rl::fork_streams(
+                &mut rng,
+                view.rng_draws_per_sample(),
+                self.probe_candidates,
+            );
+            let mut rng_refs: Vec<&mut dyn rand::RngCore> =
+                streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
+            let actions: Vec<Vec<usize>> =
+                view.sample_batch(params, &mut rng_refs).into_iter().map(|(a, _)| a).collect();
+            let step_time = view
+                .decode_batch(params, &actions)
+                .iter()
+                .filter_map(|p| simulate(graph, &self.machine, p).step_time())
+                .fold(None, |best: Option<f64>, t| Some(best.map_or(t, |b| b.min(t))));
+            st.curve.probes.push(ProbePoint {
+                sample: st.samples as u64,
+                graph: name.clone(),
+                step_time,
+            });
+        }
+        rec.add("trainer.probes", 1);
+        drop(span);
+    }
+}
+
+/// Deterministic probe RNG seed: independent of the trainer RNG stream, unique
+/// per (config seed, minibatch, holdout graph).
+fn probe_seed(seed: u64, minibatch: u64, holdout_index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(minibatch.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ holdout_index))
+}
+
+/// Accumulates one environment's counters into a running total (used for the
+/// retired-environment snapshot and run telemetry).
+fn add_snapshot(total: &mut EnvSnapshot, s: &EnvSnapshot) {
+    total.evals += s.evals;
+    total.invalid_evals += s.invalid_evals;
+    total.wall_clock += s.wall_clock;
+    total.cache.hits += s.cache.hits;
+    total.cache.misses += s.cache.misses;
+    total.cache.evictions += s.cache.evictions;
 }
 
 /// Rejects a resume whose checkpointed parameters were built by a different
@@ -326,249 +1189,50 @@ fn check_param_layout(current: &Params, saved: &Params) -> Result<(), ResumeErro
     Ok(())
 }
 
-/// The shared minibatch loop behind [`train`] and [`train_from`].
-fn run_loop(
-    agent: &impl PlacementAgent,
-    params: &mut Params,
-    env: &mut Environment,
-    cfg: &TrainerConfig,
-    mut st: LoopState,
-) -> TrainResult {
-    let host_start = std::time::Instant::now();
-    let samples_at_entry = st.samples;
-    let rec = env.recorder().clone();
-    let workers = eagle_devsim::resolve_workers(cfg.workers);
-
-    let mut reinforce = Reinforce::new(cfg.optim.clone()).with_recorder(rec.clone());
-    let mut ppo =
-        Ppo::new(cfg.optim.clone(), cfg.ppo_clip, cfg.ppo_epochs).with_recorder(rec.clone());
-    let mut ce = CrossEntropyMin::new(cfg.optim.clone(), cfg.ce_steps).with_recorder(rec.clone());
-    if let Some((r, p, c)) = st.restored_opts.take() {
-        reinforce.restore_optimizer(r);
-        ppo.restore_optimizer(p);
-        ce.restore_optimizer(c);
-    }
-
-    // CE elite pool: a rolling window so memory (and checkpoint size) stays
-    // bounded on long runs, but never smaller than one CE interval.
-    let window = cfg.history_window.max(cfg.ce_interval).max(cfg.ce_elites);
-
-    while st.samples < cfg.total_samples {
-        let batch_size = cfg.minibatch.min(cfg.total_samples - st.samples);
-        rec.add("trainer.minibatches", 1);
-
-        // Phase A (seeded): draw the minibatch's action sequences in one
-        // batched forward pass. Each episode samples from its own stream
-        // forked off the trainer RNG; `fork_streams` advances the master RNG
-        // past exactly the draws a serial per-episode loop would consume, so
-        // the action stream — and the checkpointed RNG position — is
-        // bit-identical to per-episode sampling.
-        let sample_span = rec.span("trainer.sample_us");
-        let mut streams =
-            eagle_rl::fork_streams(&mut st.rng, agent.rng_draws_per_sample(), batch_size);
-        let mut rng_refs: Vec<&mut dyn rand::RngCore> =
-            streams.iter_mut().map(|r| r as &mut dyn rand::RngCore).collect();
-        let drawn = agent.sample_batch(params, &mut rng_refs);
-        drop(sample_span);
-        let (actions_batch, old_log_probs): (Vec<Vec<usize>>, Vec<f32>) = drawn.into_iter().unzip();
-
-        // Phase B: decode actions into placements — one batched pass, so
-        // parameter-dependent decode state (EAGLE's grouper forward) is
-        // computed once per minibatch instead of once per episode.
-        let decode_span = rec.span("trainer.decode_us");
-        let placements: Vec<Placement> = agent.decode_batch(params, &actions_batch);
-        drop(decode_span);
-
-        // Phase C: evaluate the minibatch (cache probes and noise serial,
-        // cache-miss simulations parallel — see `Environment::evaluate_batch`).
-        let evaluate_span = rec.span("trainer.evaluate_us");
-        let wall_before = env.wall_clock();
-        let measurements = env.evaluate_batch(&placements, workers);
-        drop(evaluate_span);
-        // Rebuild the per-episode wall-clock by accumulating costs in episode
-        // order — the same float additions the serial loop performs, so curve
-        // x-values are bit-identical.
-        let mut wall = wall_before;
-
-        // Phase D (serial): rewards, baseline, curve, policy update — in
-        // episode order.
-        let update_span = rec.span("trainer.update_us");
-        let mut batch: Vec<TrainSample> = Vec::with_capacity(batch_size);
-        for (((actions, old_log_prob), placement), meas) in
-            actions_batch.into_iter().zip(old_log_probs).zip(&placements).zip(&measurements)
-        {
-            st.samples += 1;
-            st.since_ce += 1;
-            let reward = match meas.step_time {
-                Some(t) => {
-                    if st.best.as_ref().is_none_or(|(b, _)| t < *b) {
-                        st.best = Some((t, placement.clone()));
-                    }
-                    cfg.reward.apply(t)
-                }
-                None => {
-                    st.num_invalid += 1;
-                    cfg.reward.apply(cfg.invalid_penalty_time)
-                }
-            };
-            wall += meas.wall_cost;
-            st.curve.push(st.samples as u64, wall, meas.step_time);
-            let advantage =
-                if cfg.use_baseline { st.baseline.advantage(reward) as f32 } else { reward as f32 };
-            st.history_actions.push_back(actions.clone());
-            st.history_rewards.push_back(reward);
-            batch.push(TrainSample { actions, old_log_prob, advantage });
-        }
-
-        if cfg.normalize_adv && batch.len() > 1 {
-            let mean = batch.iter().map(|s| s.advantage).sum::<f32>() / batch.len() as f32;
-            let var = batch.iter().map(|s| (s.advantage - mean).powi(2)).sum::<f32>()
-                / batch.len() as f32;
-            let std = var.sqrt().max(1e-6);
-            for s in &mut batch {
-                s.advantage /= std;
-            }
-        }
-
-        match cfg.algo {
-            Algo::Reinforce => {
-                reinforce.update(agent, params, &batch);
-            }
-            Algo::Ppo => {
-                ppo.update(agent, params, &batch);
-            }
-            Algo::PpoCe => {
-                ppo.update(agent, params, &batch);
-                if st.since_ce >= cfg.ce_interval {
-                    st.since_ce = 0;
-                    let rewards: &[f64] = st.history_rewards.make_contiguous();
-                    let top = top_k_indices(rewards, cfg.ce_elites);
-                    let elites: Vec<Vec<usize>> =
-                        top.iter().map(|&i| st.history_actions[i].clone()).collect();
-                    ce.update(agent, params, &elites);
-                }
-            }
-        }
-        drop(update_span);
-
-        // End of minibatch: trim the history window, then (optionally)
-        // checkpoint — trimming first keeps the on-disk state identical to the
-        // in-memory state a resume will rebuild.
-        while st.history_actions.len() > window {
-            st.history_actions.pop_front();
-            st.history_rewards.pop_front();
-        }
-        st.minibatches += 1;
-
-        if let (Some(every), Some(dir)) = (cfg.checkpoint_every, &cfg.checkpoint_dir) {
-            if every > 0 && st.minibatches.is_multiple_of(every as u64) {
-                let snapshot = TrainerState {
-                    samples: st.samples as u64,
-                    minibatches: st.minibatches,
-                    num_invalid: st.num_invalid as u64,
-                    since_ce: st.since_ce as u64,
-                    rng: RngState::capture(&st.rng),
-                    baseline: st.baseline.clone(),
-                    history_actions: st.history_actions.iter().cloned().collect(),
-                    history_rewards: st.history_rewards.iter().copied().collect(),
-                    best: st.best.clone(),
-                    curve: st.curve.clone(),
-                    params: params.clone(),
-                    opt_reinforce: reinforce.optimizer().clone(),
-                    opt_ppo: ppo.optimizer().clone(),
-                    opt_ce: ce.optimizer().clone(),
-                    env: env.save_state(),
-                    start_snapshot: st.start,
-                };
-                let save = std::fs::create_dir_all(dir)
-                    .map_err(|e| crate::checkpoint::CheckpointError::Io(e).to_string())
-                    .and_then(|()| {
-                        save_checkpoint(&snapshot, dir.join(CHECKPOINT_FILE))
-                            .map_err(|e| e.to_string())
-                    });
-                match save {
-                    Ok(()) => rec.add("trainer.checkpoints", 1),
-                    Err(e) => {
-                        rec.add("trainer.checkpoint_errors", 1);
-                        eprintln!("warning: checkpoint save to {} failed: {e}", dir.display());
-                    }
-                }
-            }
-        }
-    }
-
-    // Final 1,000-step measurement of the best placement (paper protocol).
-    let (best_placement, final_step_time) = match st.best {
-        Some((_, p)) => {
-            let t = env.evaluate_final(&p);
-            (Some(p), t)
-        }
-        None => (None, None),
-    };
-
-    let run = env.snapshot().since(&st.start);
-    let elapsed = host_start.elapsed().as_secs_f64();
-    let samples_this_process = st.samples - samples_at_entry;
-    let telemetry = Telemetry {
-        episodes_per_sec: if elapsed > 0.0 { samples_this_process as f64 / elapsed } else { 0.0 },
-        evals: run.evals,
-        invalid_evals: run.invalid_evals,
-        cache_hits: run.cache.hits,
-        cache_misses: run.cache.misses,
-        cache_evictions: run.cache.evictions,
-        cache_hit_rate: run.cache.hit_rate(),
-        sim_wall_clock: run.wall_clock,
-        workers,
-    };
-    st.curve.telemetry = Some(telemetry);
-
-    TrainResult {
-        best_placement,
-        final_step_time,
-        curve: st.curve,
-        num_invalid: st.num_invalid,
-        samples: st.samples,
-        telemetry,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::agents::{EagleAgent, FixedGroupAgent, PlacerKind};
     use crate::checkpoint::load_checkpoint;
     use crate::scale::AgentScale;
-    use eagle_devsim::{Machine, MeasureConfig};
     use eagle_opgraph::builders;
 
-    fn tiny_env() -> (eagle_opgraph::OpGraph, Machine, Environment) {
-        let g = builders::gnmt(&builders::GnmtConfig {
+    fn tiny_graph() -> OpGraph {
+        builders::try_gnmt(&builders::GnmtConfig {
             batch: 2,
             hidden: 4,
             layers: 2,
             seq_len: 3,
             vocab: 20,
-        });
+        })
+        .expect("valid tiny gnmt")
+    }
+
+    fn tiny_trainer(cfg: TrainerConfig) -> (OpGraph, Machine, Trainer) {
+        let g = tiny_graph();
         let m = Machine::paper_machine();
-        let env = Environment::builder(g.clone(), m.clone())
+        let trainer = Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+            .config(cfg)
             .measure(MeasureConfig::exact())
-            .seed(3)
+            .env_seed(3)
             .build()
-            .expect("valid tiny environment");
-        (g, m, env)
+            .expect("valid tiny trainer");
+        (g, m, trainer)
     }
 
     #[test]
     fn training_improves_over_first_samples() {
-        let (g, m, mut env) = tiny_env();
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, 120);
+        cfg.optim.lr = 0.05; // tiny nets: faster convergence for the test
+        let (g, m, trainer) = tiny_trainer(cfg);
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
-        let mut cfg = TrainerConfig::paper(Algo::Ppo, 120);
-        cfg.optim.lr = 0.05; // tiny nets: faster convergence for the test
-        let result = train(&agent, &mut params, &mut env, &cfg);
+        let result = trainer.train(&agent, &mut params).expect("training runs");
         assert_eq!(result.samples, 120);
         assert_eq!(result.curve.points.len(), 120);
+        assert_eq!(result.graphs.len(), 1);
+        assert_eq!(result.graphs[0].samples, 120);
         let t = result.final_step_time.expect("found a valid placement");
         // The first sampled placement is essentially random; training must do
         // at least as well, and the curve's best must be monotone.
@@ -586,7 +1250,9 @@ mod tests {
     #[test]
     fn all_algorithms_run() {
         for algo in [Algo::Reinforce, Algo::Ppo, Algo::PpoCe] {
-            let (g, m, mut env) = tiny_env();
+            let mut cfg = TrainerConfig::paper(algo, 60);
+            cfg.ce_interval = 20;
+            let (g, m, trainer) = tiny_trainer(cfg);
             let mut params = Params::new();
             let mut rng = ChaCha8Rng::seed_from_u64(2);
             let group_of: Vec<usize> = (0..g.len()).map(|i| i * 4 / g.len()).collect();
@@ -601,9 +1267,7 @@ mod tests {
                 AgentScale::tiny(),
                 &mut rng,
             );
-            let mut cfg = TrainerConfig::paper(algo, 60);
-            cfg.ce_interval = 20;
-            let result = train(&agent, &mut params, &mut env, &cfg);
+            let result = trainer.train(&agent, &mut params).expect("training runs");
             assert_eq!(result.samples, 60, "{algo:?}");
             assert!(result.final_step_time.is_some(), "{algo:?}");
         }
@@ -611,12 +1275,11 @@ mod tests {
 
     #[test]
     fn wall_clock_monotone_in_curve() {
-        let (g, m, mut env) = tiny_env();
+        let (g, m, trainer) = tiny_trainer(TrainerConfig::paper(Algo::Ppo, 30));
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
-        let cfg = TrainerConfig::paper(Algo::Ppo, 30);
-        let result = train(&agent, &mut params, &mut env, &cfg);
+        let result = trainer.train(&agent, &mut params).expect("training runs");
         let mut prev = 0.0;
         for p in &result.curve.points {
             assert!(p.wall_clock >= prev);
@@ -629,37 +1292,38 @@ mod tests {
         // A window smaller than the run length must not change short-run
         // behaviour for non-CE algos, and the checkpoint must carry at most
         // `max(history_window, ce_interval, ce_elites)` samples.
-        let (g, m, mut env) = tiny_env();
-        let mut params = Params::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
         let mut cfg = TrainerConfig::paper(Algo::Ppo, 80);
         cfg.history_window = 1; // effective window = ce_interval = 50
         let dir = std::env::temp_dir().join("eagle-trainer-window-test");
         std::fs::create_dir_all(&dir).unwrap();
         cfg.checkpoint_dir = Some(dir.clone());
         cfg.checkpoint_every = Some(1);
-        let result = train(&agent, &mut params, &mut env, &cfg);
+        let (g, m, trainer) = tiny_trainer(cfg);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+        let result = trainer.train(&agent, &mut params).expect("training runs");
         assert_eq!(result.samples, 80);
         let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).unwrap();
         assert_eq!(state.history_actions.len(), 50, "window clamps to ce_interval");
         assert_eq!(state.history_rewards.len(), 50);
         assert_eq!(state.samples, 80);
+        assert_eq!(state.entries.len(), 1, "fixed source pools one environment");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn resume_rejects_wrong_agent_and_params() {
-        let (g, m, mut env) = tiny_env();
-        let mut params = Params::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
         let mut cfg = TrainerConfig::paper(Algo::Ppo, 20);
         let dir = std::env::temp_dir().join("eagle-trainer-reject-test");
         std::fs::create_dir_all(&dir).unwrap();
         cfg.checkpoint_dir = Some(dir.clone());
         cfg.checkpoint_every = Some(1);
-        train(&agent, &mut params, &mut env, &cfg);
+        let (g, m, trainer) = tiny_trainer(cfg);
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let agent = EagleAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
+        trainer.train(&agent, &mut params).expect("training runs");
         let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).unwrap();
 
         // Different agent type: label mismatch.
@@ -677,9 +1341,8 @@ mod tests {
             AgentScale::tiny(),
             &mut rng2,
         );
-        let (_, _, mut env2) = tiny_env();
-        match train_from(&other, &mut other_params, &mut env2, &cfg, state.clone()) {
-            Err(ResumeError::AgentMismatch { .. }) => {}
+        match trainer.train_from(&other, &mut other_params, state.clone()) {
+            Err(TrainError::Resume(ResumeError::AgentMismatch { .. })) => {}
             other => panic!("expected AgentMismatch, got {other:?}"),
         }
 
@@ -687,12 +1350,148 @@ mod tests {
         let mut big_params = Params::new();
         let mut rng3 = ChaCha8Rng::seed_from_u64(5);
         let big = EagleAgent::new(&mut big_params, &g, &m, AgentScale::quick(), &mut rng3);
-        let (_, _, mut env3) = tiny_env();
-        match train_from(&big, &mut big_params, &mut env3, &cfg, state) {
-            Err(ResumeError::ParamMismatch(_)) => {}
+        match trainer.train_from(&big, &mut big_params, state) {
+            Err(TrainError::Resume(ResumeError::ParamMismatch(_))) => {}
             other => panic!("expected ParamMismatch, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let g = tiny_graph();
+        let m = Machine::paper_machine();
+        let build = |mutate: &dyn Fn(&mut TrainerConfig)| {
+            let mut cfg = TrainerConfig::paper(Algo::PpoCe, 10);
+            mutate(&mut cfg);
+            Trainer::builder(GraphSource::fixed(g.clone()), m.clone()).config(cfg).build()
+        };
+        assert_eq!(build(&|c| c.minibatch = 0).unwrap_err(), ConfigError::ZeroMinibatch);
+        assert_eq!(build(&|c| c.total_samples = 0).unwrap_err(), ConfigError::ZeroTotalSamples);
+        assert!(matches!(
+            build(&|c| c.ce_interval = 0).unwrap_err(),
+            ConfigError::BadCeSchedule { interval: 0, .. }
+        ));
+        assert!(matches!(
+            build(&|c| c.ce_elites = 0).unwrap_err(),
+            ConfigError::BadCeSchedule { elites: 0, .. }
+        ));
+        assert_eq!(build(&|c| c.ppo_epochs = 0).unwrap_err(), ConfigError::ZeroPpoEpochs);
+        assert_eq!(build(&|c| c.ema_alpha = 0.0).unwrap_err(), ConfigError::BadEmaAlpha(0.0));
+        assert_eq!(build(&|c| c.optim.lr = 0.0).unwrap_err(), ConfigError::BadLearningRate(0.0));
+        assert!(matches!(
+            build(&|c| c.invalid_penalty_time = f64::NAN).unwrap_err(),
+            ConfigError::BadInvalidPenalty(_)
+        ));
+        assert_eq!(
+            build(&|c| c.checkpoint_every = Some(0)).unwrap_err(),
+            ConfigError::ZeroCheckpointEvery
+        );
+        assert_eq!(
+            build(&|c| c.checkpoint_every = Some(5)).unwrap_err(),
+            ConfigError::CheckpointEveryWithoutDir
+        );
+        // ce_interval = 0 is fine for algorithms that never run CE.
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, 10);
+        cfg.ce_interval = 0;
+        assert!(Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+            .config(cfg)
+            .build()
+            .is_ok());
+        // Probe/holdout cross-validation.
+        assert!(matches!(
+            Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+                .config(TrainerConfig::paper(Algo::Ppo, 10))
+                .holdout(1)
+                .build()
+                .unwrap_err(),
+            ConfigError::Source(SourceError::HoldoutUnsupported)
+        ));
+        assert_eq!(
+            Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+                .config(TrainerConfig::paper(Algo::Ppo, 10))
+                .probe_every(5)
+                .build()
+                .unwrap_err(),
+            ConfigError::ProbeWithoutHoldout
+        );
+        assert_eq!(
+            Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+                .config(TrainerConfig::paper(Algo::Ppo, 10))
+                .pool_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroPoolCapacity
+        );
+    }
+
+    #[test]
+    fn multi_graph_training_pools_environments() {
+        let g = tiny_graph();
+        let roster = GraphSource::roster(vec![
+            ("a".into(), g.clone()),
+            ("b".into(), g.clone()),
+            ("c".into(), g.clone()),
+        ])
+        .unwrap();
+        let mut cfg = TrainerConfig::paper(Algo::Ppo, 60);
+        cfg.minibatch = 5;
+        let trainer = Trainer::builder(roster, Machine::paper_machine())
+            .config(cfg)
+            .measure(MeasureConfig::exact())
+            .env_seed(3)
+            .holdout(1)
+            .build()
+            .expect("valid multi-graph trainer");
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let agent = EagleAgent::new(
+            &mut params,
+            &g,
+            &Machine::paper_machine(),
+            AgentScale::tiny(),
+            &mut rng,
+        );
+        let result = trainer.train(&agent, &mut params).expect("training runs");
+        assert_eq!(result.samples, 60);
+        // Held-out graph "c" never trains; "a" and "b" round-robin.
+        assert_eq!(result.graphs.len(), 2);
+        assert!(result.graphs.iter().all(|s| s.name != "c"));
+        assert_eq!(result.graphs.iter().map(|s| s.samples).sum::<u64>(), 60);
+        assert!(result.best_placement.is_none(), "multi-graph runs report per-graph bests");
+        assert_eq!(trainer.holdout_graphs().len(), 1);
+        assert_eq!(trainer.holdout_graphs()[0].0, "c");
+    }
+
+    #[test]
+    fn unsupported_agent_gets_typed_error() {
+        let g = tiny_graph();
+        let m = Machine::paper_machine();
+        let roster =
+            GraphSource::roster(vec![("a".into(), g.clone()), ("b".into(), g.clone())]).unwrap();
+        let trainer = Trainer::builder(roster, m.clone())
+            .config(TrainerConfig::paper(Algo::Ppo, 10))
+            .measure(MeasureConfig::exact())
+            .build()
+            .unwrap();
+        let mut params = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let group_of: Vec<usize> = (0..g.len()).map(|i| i * 2 / g.len()).collect();
+        let agent = FixedGroupAgent::new(
+            &mut params,
+            "fixed",
+            &g,
+            &m,
+            group_of,
+            2,
+            PlacerKind::Simple,
+            AgentScale::tiny(),
+            &mut rng,
+        );
+        match trainer.train(&agent, &mut params) {
+            Err(TrainError::UnsupportedAgent { agent }) => assert_eq!(agent, "fixed"),
+            other => panic!("expected UnsupportedAgent, got {other:?}"),
+        }
     }
 
     #[test]

@@ -86,9 +86,14 @@ impl Benchmark {
     /// The uncalibrated graph.
     pub fn raw_graph(self) -> OpGraph {
         match self {
-            Benchmark::InceptionV3 => builders::inception_v3(&Default::default()),
-            Benchmark::Gnmt => builders::gnmt(&Default::default()),
-            Benchmark::BertBase => builders::bert_base(&Default::default()),
+            Benchmark::InceptionV3 => builders::try_inception_v3(&Default::default())
+                .expect("default Inception config is valid"),
+            Benchmark::Gnmt => {
+                builders::try_gnmt(&Default::default()).expect("default GNMT config is valid")
+            }
+            Benchmark::BertBase => {
+                builders::try_bert_base(&Default::default()).expect("default BERT config is valid")
+            }
         }
     }
 

@@ -139,13 +139,14 @@ mod tests {
 
     #[test]
     fn single_gpu_puts_inputs_on_cpu() {
-        let g = builders::gnmt(&builders::GnmtConfig {
+        let g = builders::try_gnmt(&builders::GnmtConfig {
             batch: 4,
             hidden: 8,
             layers: 2,
             seq_len: 3,
             vocab: 50,
-        });
+        })
+        .expect("valid GNMT config");
         let m = Machine::paper_machine();
         let p = single_gpu(&g, &m);
         for id in g.ids() {
@@ -158,7 +159,8 @@ mod tests {
 
     #[test]
     fn gnmt_expert_uses_all_gpus_and_fits() {
-        let g = builders::gnmt(&builders::GnmtConfig::default());
+        let g = builders::try_gnmt(&builders::GnmtConfig::default())
+            .expect("default GNMT config is valid");
         let m = Machine::paper_machine();
         let p = human_expert(&g, &m).expect("gnmt has an expert placement");
         let mem = p.memory_per_device(&g, &m);
@@ -177,7 +179,8 @@ mod tests {
 
     #[test]
     fn gnmt_single_gpu_ooms() {
-        let g = builders::gnmt(&builders::GnmtConfig::default());
+        let g = builders::try_gnmt(&builders::GnmtConfig::default())
+            .expect("default GNMT config is valid");
         let m = Machine::paper_machine();
         let p = single_gpu(&g, &m);
         assert!(
@@ -188,7 +191,8 @@ mod tests {
 
     #[test]
     fn bert_has_no_expert_but_layer_split_fits() {
-        let g = builders::bert_base(&builders::BertConfig::default());
+        let g = builders::try_bert_base(&builders::BertConfig::default())
+            .expect("default BERT config is valid");
         let m = Machine::paper_machine();
         assert!(human_expert(&g, &m).is_none(), "paper: no expert placement for BERT");
         assert!(
@@ -205,14 +209,16 @@ mod tests {
 
     #[test]
     fn inception_single_gpu_valid() {
-        let g = builders::inception_v3(&builders::InceptionConfig::default());
+        let g = builders::try_inception_v3(&builders::InceptionConfig::default())
+            .expect("default Inception config is valid");
         let m = Machine::paper_machine();
         assert!(matches!(simulate(&g, &m, &single_gpu(&g, &m)), SimOutcome::Valid(_)));
     }
 
     #[test]
     fn random_placement_covers_graph() {
-        let g = builders::inception_v3(&builders::InceptionConfig::default());
+        let g = builders::try_inception_v3(&builders::InceptionConfig::default())
+            .expect("default Inception config is valid");
         let m = Machine::paper_machine();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let p = random_placement(&g, &m, &mut rng);

@@ -148,13 +148,14 @@ mod tests {
 
     #[test]
     fn features_finite_on_real_graph() {
-        let g = eagle_opgraph::builders::gnmt(&eagle_opgraph::builders::GnmtConfig {
+        let g = eagle_opgraph::builders::try_gnmt(&eagle_opgraph::builders::GnmtConfig {
             batch: 4,
             hidden: 8,
             layers: 2,
             seq_len: 4,
             vocab: 64,
-        });
+        })
+        .expect("valid GNMT config");
         let k = 8;
         let group_of: Vec<usize> = (0..g.len()).map(|i| i % k).collect();
         let f = group_features(&g, &group_of, k);

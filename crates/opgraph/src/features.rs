@@ -178,13 +178,14 @@ mod tests {
 
     #[test]
     fn features_bounded_and_finite() {
-        let g = crate::builders::gnmt(&crate::builders::GnmtConfig {
+        let g = crate::builders::try_gnmt(&crate::builders::GnmtConfig {
             batch: 4,
             hidden: 8,
             layers: 2,
             seq_len: 3,
             vocab: 50,
-        });
+        })
+        .expect("valid GNMT config");
         for row in node_features(&g) {
             for &v in &row {
                 assert!(v.is_finite());

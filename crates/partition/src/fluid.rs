@@ -113,7 +113,8 @@ mod tests {
 
     #[test]
     fn covers_all_vertices_within_k() {
-        let g = builders::inception_v3(&builders::InceptionConfig::default());
+        let g = builders::try_inception_v3(&builders::InceptionConfig::default())
+            .expect("default Inception config is valid");
         let k = 16;
         let assign = FluidCommunities::default().partition(&g, k);
         assert_eq!(assign.len(), g.len());
@@ -123,13 +124,14 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let g = builders::gnmt(&builders::GnmtConfig {
+        let g = builders::try_gnmt(&builders::GnmtConfig {
             batch: 4,
             hidden: 8,
             layers: 2,
             seq_len: 4,
             vocab: 64,
-        });
+        })
+        .expect("valid GNMT config");
         let a = FluidCommunities::default().partition(&g, 8);
         let b = FluidCommunities::default().partition(&g, 8);
         assert_eq!(a, b);
@@ -172,7 +174,7 @@ mod tests {
     #[test]
     fn better_cut_than_random_on_real_graph() {
         use rand::Rng;
-        let g = builders::bert_base(&builders::BertConfig {
+        let g = builders::try_bert_base(&builders::BertConfig {
             batch: 2,
             seq_len: 8,
             hidden: 16,
@@ -180,7 +182,8 @@ mod tests {
             heads: 2,
             ff: 32,
             vocab: 50,
-        });
+        })
+        .expect("valid BERT config");
         let w = WeightedGraph::from_op_graph(&g);
         let k = 8;
         let fluid = FluidCommunities::default().partition(&g, k);

@@ -309,13 +309,14 @@ mod tests {
 
     #[test]
     fn partitions_real_graph_with_balance() {
-        let g = builders::gnmt(&builders::GnmtConfig {
+        let g = builders::try_gnmt(&builders::GnmtConfig {
             batch: 8,
             hidden: 16,
             layers: 2,
             seq_len: 6,
             vocab: 100,
-        });
+        })
+        .expect("valid GNMT config");
         let k = 8;
         let assign = MetisLike::default().partition(&g, k);
         assert_eq!(assign.len(), g.len());
@@ -328,7 +329,8 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let g = builders::inception_v3(&builders::InceptionConfig::default());
+        let g = builders::try_inception_v3(&builders::InceptionConfig::default())
+            .expect("default Inception config is valid");
         let a = MetisLike::default().partition(&g, 16);
         let b = MetisLike::default().partition(&g, 16);
         assert_eq!(a, b);
@@ -340,7 +342,8 @@ mod tests {
     #[test]
     fn beats_random_on_cut() {
         use rand::Rng;
-        let g = builders::inception_v3(&builders::InceptionConfig::default());
+        let g = builders::try_inception_v3(&builders::InceptionConfig::default())
+            .expect("default Inception config is valid");
         let w = WeightedGraph::from_op_graph(&g);
         let k = 16;
         let metis = MetisLike::default().partition(&g, k);
@@ -354,13 +357,14 @@ mod tests {
 
     #[test]
     fn k_larger_than_n_is_clamped() {
-        let g = builders::gnmt(&builders::GnmtConfig {
+        let g = builders::try_gnmt(&builders::GnmtConfig {
             batch: 1,
             hidden: 2,
             layers: 2,
             seq_len: 2,
             vocab: 10,
-        });
+        })
+        .expect("valid GNMT config");
         let assign = MetisLike::default().partition(&g, 10_000);
         assert!(assign.iter().all(|&a| a < g.len()));
     }

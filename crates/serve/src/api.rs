@@ -80,7 +80,10 @@ pub struct PlaceRequest {
     /// Client-chosen correlation id, echoed in the reply.
     pub id: u64,
     /// Policy family key in the server's policy store (e.g. `"inception_v3"`).
-    pub family: String,
+    /// `null` (or absent) means "no family preference": the server answers with
+    /// its generalist policy (the multi-graph-trained fallback family) — the
+    /// zero-shot path for graphs no specialist was ever trained on.
+    pub family: Option<String>,
     /// Inline op graph. Exactly one of `graph` / `graph_key` must be set.
     pub graph: Option<OpGraph>,
     /// Key of a previously registered graph (see [`RegisterGraphRequest`]).
@@ -128,7 +131,7 @@ impl Deserialize for PlaceRequest {
         Ok(Self {
             schema_version: field(c, "PlaceRequest", "schema_version")?,
             id: field(c, "PlaceRequest", "id")?,
-            family: field(c, "PlaceRequest", "family")?,
+            family: opt_field(c, "family")?,
             graph: opt_field(c, "graph")?,
             graph_key: opt_field(c, "graph_key")?,
             machine: opt_field(c, "machine")?,
@@ -288,7 +291,7 @@ impl PlaceRequest {
         Self {
             schema_version: API_SCHEMA_VERSION,
             id,
-            family: family.into(),
+            family: Some(family.into()),
             graph: None,
             graph_key: Some(graph_key.into()),
             machine: None,
@@ -303,7 +306,23 @@ impl PlaceRequest {
         Self {
             schema_version: API_SCHEMA_VERSION,
             id,
-            family: family.into(),
+            family: Some(family.into()),
+            graph: Some(graph),
+            graph_key: None,
+            machine: None,
+            candidates: 0,
+            seed: id,
+            deadline_ms: None,
+        }
+    }
+
+    /// A zero-shot request: place an inline `graph` with no family preference,
+    /// answered by the server's generalist policy.
+    pub fn zero_shot(id: u64, graph: OpGraph) -> Self {
+        Self {
+            schema_version: API_SCHEMA_VERSION,
+            id,
+            family: None,
             graph: Some(graph),
             graph_key: None,
             machine: None,
@@ -351,7 +370,7 @@ mod tests {
         match decode_request(&line).unwrap() {
             Request::Place(r) => {
                 assert_eq!(r.id, 7);
-                assert_eq!(r.family, "fam");
+                assert_eq!(r.family.as_deref(), Some("fam"));
                 assert_eq!(r.graph.unwrap().len(), 1);
                 assert_eq!(r.graph_key, None);
             }

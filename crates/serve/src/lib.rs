@@ -18,7 +18,9 @@
 //!   `queue_capacity` (or a family's `family_quota` share) requests are shed
 //!   with a typed `overloaded` reply carrying a `retry_after_ms` hint, and a
 //!   request whose `deadline_ms` budget expires before its wave runs gets a
-//!   typed `deadline_exceeded` instead of stale work.
+//!   typed `deadline_exceeded` instead of stale work. A request naming an
+//!   unknown family — or no family at all — is answered zero-shot by the
+//!   store's [`GENERALIST_FAMILY`] policy when one is published.
 //! * [`Server`] / [`Client`] — the newline-delimited-JSON TCP front end.
 //!   [`Client::place_with_retry`] implements the backpressure contract
 //!   (sleep the hint, retry `overloaded` only).
@@ -27,7 +29,8 @@
 //! `serve.errors`, `serve.infeasible`, `serve.waves`, `serve.forwards`,
 //! `serve.graphs_registered`, `serve.policy_loads`, `serve.policy_reloads`,
 //! `serve.policy_reload_errors`, `serve.shed`, `serve.overloaded`,
-//! `serve.deadline_exceeded`, `serve.handler_panics`; gauges
+//! `serve.deadline_exceeded`, `serve.generalist_fallbacks`,
+//! `serve.handler_panics`; gauges
 //! `serve.queue_depth` and per-family `serve.queue_depth.<family>`; histograms
 //! `serve.wave_size`, `serve.latency_us`, and `serve.queue_depth` (depth at
 //! each wave cut — its max bounds the burst memory; p50/p99 come from
@@ -48,5 +51,5 @@ pub use router::{Router, RouterConfig};
 pub use server::{Server, ServerConfig};
 pub use store::{
     publish_checkpoint, publish_state, untrained_state, PolicyEntry, PolicyManifest, PolicyStore,
-    MANIFEST_FILE, MANIFEST_SCHEMA_VERSION,
+    GENERALIST_FAMILY, MANIFEST_FILE, MANIFEST_SCHEMA_VERSION,
 };

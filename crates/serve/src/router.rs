@@ -33,7 +33,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::api::{PlaceRequest, PlaceResponse, API_SCHEMA_VERSION};
 use crate::error::EagleError;
-use crate::store::{PolicyEntry, PolicyStore};
+use crate::store::{PolicyEntry, PolicyStore, GENERALIST_FAMILY};
 
 /// Router tuning knobs.
 #[derive(Debug, Clone)]
@@ -84,6 +84,10 @@ impl Default for RouterConfig {
 /// A validated request waiting for its wave.
 struct Pending {
     req: PlaceRequest,
+    /// The family resolved at admission: the request's own, or
+    /// [`GENERALIST_FAMILY`] when it named none. Quota accounting and wave
+    /// grouping both key on this so the per-family counts stay consistent.
+    family: String,
     candidates: u32,
     graph: Arc<OpGraph>,
     graph_fp: u64,
@@ -294,9 +298,12 @@ impl Router {
             None => None,
         };
         let (tx, rx) = mpsc::channel();
-        let family = req.family.clone();
+        // No family preference means "answer with the generalist policy": the
+        // zero-shot path for graphs no dedicated family was trained on.
+        let family = req.family.clone().unwrap_or_else(|| GENERALIST_FAMILY.to_string());
         let pending = Pending {
             req,
+            family: family.clone(),
             candidates,
             graph,
             graph_fp,
@@ -379,15 +386,15 @@ impl Router {
                 let n = q.pending.len().min(self.cfg.max_wave);
                 let wave: Vec<Pending> = q.pending.drain(..n).collect();
                 for p in &wave {
-                    if let Some(count) = q.per_family.get_mut(&p.req.family) {
+                    if let Some(count) = q.per_family.get_mut(&p.family) {
                         *count = count.saturating_sub(1);
                         if *count == 0 {
-                            q.per_family.remove(&p.req.family);
+                            q.per_family.remove(&p.family);
                         }
                     }
                 }
                 for p in &wave {
-                    self.publish_depth_gauges(&q, &p.req.family);
+                    self.publish_depth_gauges(&q, &p.family);
                 }
                 wave
             };
@@ -438,7 +445,7 @@ impl Router {
     fn process_wave(&self, wave: Vec<Pending>, agents: &mut AgentCache, sim_workers: usize) {
         let mut groups: HashMap<(String, u64, u64), Vec<Pending>> = HashMap::new();
         for p in wave {
-            groups.entry((p.req.family.clone(), p.graph_fp, p.machine_fp)).or_default().push(p);
+            groups.entry((p.family.clone(), p.graph_fp, p.machine_fp)).or_default().push(p);
         }
         for ((family, _, _), group) in groups {
             self.process_group(&family, group, agents, sim_workers);
@@ -452,8 +459,23 @@ impl Router {
         agents: &mut AgentCache,
         sim_workers: usize,
     ) {
+        // Unknown family falls back to the generalist policy when the store
+        // publishes one — the multi-graph-trained zero-shot path. The original
+        // error is kept if the fallback also misses, so a store with no
+        // generalist reports the family the client actually asked for.
         let entry = match self.store.get(family) {
             Ok(e) => e,
+            Err(EagleError::UnknownFamily(_)) if family != GENERALIST_FAMILY => {
+                match self.store.get(GENERALIST_FAMILY) {
+                    Ok(e) => {
+                        self.recorder.add("serve.generalist_fallbacks", 1);
+                        e
+                    }
+                    Err(_) => {
+                        return self.fail_group(group, &EagleError::UnknownFamily(family.into()))
+                    }
+                }
+            }
             Err(e) => return self.fail_group(group, &e),
         };
         let serving = match agents.get(

@@ -38,6 +38,12 @@ use crate::error::EagleError;
 /// Manifest file name inside a family directory.
 pub const MANIFEST_FILE: &str = "policy.json";
 
+/// The family name the server falls back to when a request names an unknown
+/// family or none at all: a policy trained on a *distribution* of graphs (the
+/// multi-graph generalist trainer) rather than one benchmark. Publishing a
+/// policy under this name opts the store into zero-shot answers.
+pub const GENERALIST_FAMILY: &str = "generalist";
+
 /// Manifest schema version.
 pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
 
@@ -256,16 +262,24 @@ pub fn untrained_state(
         num_invalid: 0,
         since_ce: 0,
         rng: RngState::capture(&rng),
-        baseline: eagle_rl::EmaBaseline::new(0.1),
+        source: eagle_core::SourceState::initial(seed),
+        wall: 0.0,
         history_actions: Vec::new(),
         history_rewards: Vec::new(),
-        best: None,
         curve: eagle_core::Curve::new("untrained-seed"),
         params,
         opt_reinforce: eagle_tensor::optim::Adam::new(0.01),
         opt_ppo: eagle_tensor::optim::Adam::new(0.01),
         opt_ce: eagle_tensor::optim::Adam::new(0.01),
-        env: env.save_state(),
+        entries: vec![eagle_core::GraphEntryState {
+            origin: eagle_core::GraphOrigin::fixed(),
+            name: graph.model_name.clone(),
+            env: env.save_state(),
+            baseline: eagle_rl::EmaBaseline::new(0.1),
+            best: None,
+            graph_samples: 0,
+        }],
+        retired_snapshot: EnvSnapshot::default(),
         start_snapshot: EnvSnapshot::default(),
     })
 }

@@ -9,7 +9,9 @@
 //! layer split against placements learned by Post (simple placer, PPO+CE) and by
 //! EAGLE (PPO), mirroring the BERT column of Table IV.
 
-use eagle::core::{train, AgentScale, Algo, EagleAgent, FixedGroupAgent, TrainerConfig};
+use eagle::core::{
+    AgentScale, Algo, EagleAgent, FixedGroupAgent, GraphSource, Trainer, TrainerConfig,
+};
 use eagle::devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig};
 use eagle::partition::{metis_like::MetisLike, Partitioner};
 use eagle::tensor::Params;
@@ -48,8 +50,16 @@ fn main() {
     let post =
         FixedGroupAgent::post(&mut post_params, &graph, &machine, group_of, k, scale, &mut rng);
     println!("training Post (PPO+CE) for {samples} samples...");
+    let trainer = |algo| {
+        Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+            .config(TrainerConfig::paper(algo, samples))
+            .measure(MeasureConfig::default())
+            .env_seed(3)
+            .build()
+            .expect("bert trainer config is valid")
+    };
     let post_result =
-        train(&post, &mut post_params, &mut env, &TrainerConfig::paper(Algo::PpoCe, samples));
+        trainer(Algo::PpoCe).train(&post, &mut post_params).expect("training run succeeds");
     let post_time = post_result.final_step_time.expect("post finds a valid placement");
     println!("Post: {post_time:.3} s/step ({} invalid)", post_result.num_invalid);
 
@@ -59,7 +69,7 @@ fn main() {
     let agent = EagleAgent::new(&mut eagle_params, &graph, &machine, scale, &mut rng);
     println!("training EAGLE (PPO) for {samples} samples...");
     let eagle_result =
-        train(&agent, &mut eagle_params, &mut env, &TrainerConfig::paper(Algo::Ppo, samples));
+        trainer(Algo::Ppo).train(&agent, &mut eagle_params).expect("training run succeeds");
     let eagle_time = eagle_result.final_step_time.expect("eagle finds a valid placement");
     println!("EAGLE (PPO): {eagle_time:.3} s/step ({} invalid)", eagle_result.num_invalid);
 

@@ -8,7 +8,7 @@
 //! This example shows the OOM, measures the human-expert layer-striping placement,
 //! trains EAGLE, and prints a per-device breakdown of the learned placement.
 
-use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainerConfig};
+use eagle::core::{AgentScale, Algo, EagleAgent, GraphSource, Trainer, TrainerConfig};
 use eagle::devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig, SimOutcome};
 use eagle::tensor::Params;
 use rand::SeedableRng;
@@ -50,7 +50,13 @@ fn main() {
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::quick(), &mut rng);
     let cfg = TrainerConfig::paper(Algo::Ppo, 900);
     println!("training EAGLE (PPO) for {} samples...", cfg.total_samples);
-    let result = train(&agent, &mut params, &mut env, &cfg);
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(2)
+        .build()
+        .expect("gnmt trainer config is valid");
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
     let best = result.final_step_time.expect("found a valid placement");
     println!(
         "EAGLE (PPO): {best:.3} s/step ({:+.1}% vs expert; paper: -17.0%)",

@@ -8,7 +8,7 @@
 //! baselines, trains a small EAGLE agent with PPO for a few hundred samples, and
 //! reports the best placement found — the Inception-V3 column of Table IV.
 
-use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainerConfig};
+use eagle::core::{AgentScale, Algo, EagleAgent, GraphSource, Trainer, TrainerConfig};
 use eagle::devsim::{predefined, Benchmark, Environment, Machine, MeasureConfig};
 use eagle::tensor::Params;
 use rand::SeedableRng;
@@ -44,7 +44,13 @@ fn main() {
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::quick(), &mut rng);
     let cfg = TrainerConfig::paper(Algo::Ppo, 200);
     println!("training EAGLE (PPO) for {} placement samples...", cfg.total_samples);
-    let result = train(&agent, &mut params, &mut env, &cfg);
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(1)
+        .build()
+        .expect("inception trainer config is valid");
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
 
     let best = result.final_step_time.expect("found a valid placement");
     println!(
@@ -52,7 +58,7 @@ fn main() {
         best,
         result.samples,
         result.num_invalid,
-        env.wall_clock() / 3600.0
+        result.telemetry.sim_wall_clock / 3600.0
     );
     println!("=> EAGLE vs single GPU: {:+.1}%", (best / single.unwrap() - 1.0) * 100.0);
 }

@@ -189,6 +189,39 @@ fn optional_v1_fields_stay_backward_compatible() {
 }
 
 #[test]
+fn family_is_optional_on_the_wire() {
+    // `family: null` and a missing `family` key both decode to "no preference"
+    // — the server answers such requests with its generalist policy. Clients
+    // written against the original v1 schema (family always a string) keep
+    // working unchanged, so this is an additive, non-breaking relaxation.
+    for line in [
+        r#"{"type":"place","schema_version":1,"id":5,"family":null,
+            "graph_key":"00ff00ff00ff00ff","candidates":0,"seed":9}"#,
+        r#"{"type":"place","schema_version":1,"id":5,
+            "graph_key":"00ff00ff00ff00ff","candidates":0,"seed":9}"#,
+    ] {
+        match api::decode_request(&line.replace('\n', "")).expect("no-family line decodes") {
+            Request::Place(req) => assert_eq!(req.family, None),
+            other => panic!("expected place, got {other:?}"),
+        }
+    }
+
+    // The zero-shot constructor round-trips, with `family` null on the wire.
+    let req = PlaceRequest::zero_shot(8, tiny_graph());
+    let line = api::encode_request(&Request::Place(req));
+    let v: Value = serde_json::from_str(&line).unwrap();
+    assert!(matches!(v["family"], Value::Null), "no preference serializes as null");
+    match api::decode_request(&line).expect("zero-shot line decodes") {
+        Request::Place(req) => {
+            assert_eq!(req.family, None);
+            assert!(req.graph.is_some());
+            assert_eq!(api::encode_request(&Request::Place(req)), line);
+        }
+        other => panic!("expected place, got {other:?}"),
+    }
+}
+
+#[test]
 fn wire_roundtrip_is_stable() {
     // Encoding a decoded line reproduces it byte for byte, pinning the full
     // nested OpGraph / Machine serialization (not just the top-level keys).

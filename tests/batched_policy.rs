@@ -14,10 +14,10 @@
 //! bitwise — see `tests/common` for the budget rationale.
 
 use eagle::core::{
-    train, train_from, AgentScale, Algo, EagleAgent, FixedGroupAgent, HpAgent, PlacementAgent,
-    PlacerKind, TrainerConfig, CHECKPOINT_FILE,
+    AgentScale, Algo, EagleAgent, FixedGroupAgent, GraphSource, HpAgent, PlacementAgent,
+    PlacerKind, Trainer, TrainerConfig, CHECKPOINT_FILE,
 };
-use eagle::devsim::{Environment, Machine, MeasureConfig};
+use eagle::devsim::{Machine, MeasureConfig};
 use eagle::opgraph::{builders, OpGraph};
 use eagle::rl::fork_streams;
 use eagle::tensor::{Grads, Params};
@@ -29,7 +29,14 @@ mod common;
 use common::{assert_curves_close, assert_grad_close, assert_opt_f64_close, CURVE_ULPS};
 
 fn tiny_graph() -> OpGraph {
-    builders::gnmt(&builders::GnmtConfig { batch: 2, hidden: 4, layers: 2, seq_len: 3, vocab: 20 })
+    builders::try_gnmt(&builders::GnmtConfig {
+        batch: 2,
+        hidden: 4,
+        layers: 2,
+        seq_len: 3,
+        vocab: 20,
+    })
+    .expect("valid GNMT config")
 }
 
 /// Asserts the three batched methods reproduce the per-episode methods
@@ -279,18 +286,19 @@ proptest! {
 fn train_hp(workers: usize) -> eagle::core::TrainResult {
     let g = tiny_graph();
     let m = Machine::paper_machine();
-    let mut env = Environment::builder(g.clone(), m.clone())
-        .measure(MeasureConfig::default())
-        .seed(11)
-        .build()
-        .expect("valid environment");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let agent = HpAgent::new(&mut params, &g, &m, AgentScale::tiny(), &mut rng);
     let mut cfg = TrainerConfig::paper(Algo::PpoCe, 40);
     cfg.ce_interval = 20;
     cfg.workers = workers;
-    train(&agent, &mut params, &mut env, &cfg)
+    let trainer = Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(11)
+        .build()
+        .expect("valid trainer config");
+    trainer.train(&agent, &mut params).expect("training run succeeds")
 }
 
 #[test]
@@ -315,12 +323,13 @@ fn batched_training_resumes_bit_identically() {
     // straight into the checkpointed trainer RNG.
     let g = tiny_graph();
     let m = Machine::paper_machine();
-    let build_env = || {
-        Environment::builder(g.clone(), m.clone())
+    let build_trainer = |cfg: TrainerConfig| {
+        Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+            .config(cfg)
             .measure(MeasureConfig::default())
-            .seed(23)
+            .env_seed(23)
             .build()
-            .expect("valid environment")
+            .expect("valid trainer config")
     };
     let build_agent = |params: &mut Params| {
         let mut rng = ChaCha8Rng::seed_from_u64(23);
@@ -334,8 +343,8 @@ fn batched_training_resumes_bit_identically() {
     let mut cfg = TrainerConfig::paper(Algo::Ppo, 60);
     let mut full_params = Params::new();
     let full_agent = build_agent(&mut full_params);
-    let mut full_env = build_env();
-    let full = train(&full_agent, &mut full_params, &mut full_env, &cfg);
+    let full =
+        build_trainer(cfg.clone()).train(&full_agent, &mut full_params).expect("full run trains");
 
     // Interrupted: stop after 30 (checkpointing every minibatch), resume to 60.
     cfg.checkpoint_dir = Some(dir.clone());
@@ -343,15 +352,14 @@ fn batched_training_resumes_bit_identically() {
     cfg.total_samples = 30;
     let mut part_params = Params::new();
     let part_agent = build_agent(&mut part_params);
-    let mut part_env = build_env();
-    train(&part_agent, &mut part_params, &mut part_env, &cfg);
+    build_trainer(cfg.clone()).train(&part_agent, &mut part_params).expect("partial run trains");
 
     let state = eagle::core::load_checkpoint(dir.join(CHECKPOINT_FILE)).unwrap();
     cfg.total_samples = 60;
     let mut resumed_params = Params::new();
     let resumed_agent = build_agent(&mut resumed_params);
-    let mut resumed_env = build_env();
-    let resumed = train_from(&resumed_agent, &mut resumed_params, &mut resumed_env, &cfg, state)
+    let resumed = build_trainer(cfg)
+        .train_from(&resumed_agent, &mut resumed_params, state)
         .expect("resume succeeds");
 
     assert_curves_close(&full.curve, &resumed.curve, "full vs resumed");

@@ -64,16 +64,24 @@ fn valid_bytes() -> &'static [u8] {
             num_invalid: 0,
             since_ce: 1,
             rng: eagle::devsim::RngState::capture(&rng),
-            baseline,
+            source: eagle::core::SourceState::initial(11),
+            wall: 0.25,
             history_actions: vec![vec![0, 1, 2]],
             history_rewards: vec![-1.0],
-            best: Some((2.0, p)),
             curve,
             params,
             opt_reinforce: Adam::new(0.01),
             opt_ppo: Adam::new(0.01),
             opt_ce: Adam::new(0.01),
-            env: env.save_state(),
+            entries: vec![eagle::core::GraphEntryState {
+                origin: eagle::core::GraphOrigin::fixed(),
+                name: graph.model_name.clone(),
+                env: env.save_state(),
+                baseline,
+                best: Some((2.0, p)),
+                graph_samples: 1,
+            }],
+            retired_snapshot: EnvSnapshot::default(),
             start_snapshot: EnvSnapshot::default(),
         };
         let path = fuzz_path("corpus");
@@ -253,7 +261,11 @@ fn wrong_magic_and_version_are_typed() {
     let text = String::from_utf8(base.to_vec()).unwrap();
     let swapped = text.replacen("eagle-checkpoint", "eagle-checkpoinT", 1);
     assert!(matches!(load_mutated("magic", swapped.as_bytes()), Err(CheckpointError::Header(_))));
-    let bumped = text.replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    let bumped = text.replacen(
+        &format!("\"schema_version\":{CHECKPOINT_SCHEMA_VERSION}"),
+        "\"schema_version\":999",
+        1,
+    );
     assert!(matches!(
         load_mutated("version", bumped.as_bytes()),
         Err(CheckpointError::SchemaVersion { found: 999, .. })

@@ -14,11 +14,11 @@
 //! environment from scratch exactly like a restarted binary would.
 
 use eagle::core::{
-    load_checkpoint, train, train_from, AgentScale, Algo, CheckpointError, EagleAgent, TrainResult,
-    TrainerConfig, CHECKPOINT_FILE,
+    load_checkpoint, AgentScale, Algo, CheckpointError, EagleAgent, GraphSource, TrainResult,
+    Trainer, TrainerConfig, CHECKPOINT_FILE,
 };
-use eagle::devsim::{Environment, Machine, MeasureConfig};
-use eagle::opgraph::builders;
+use eagle::devsim::{Machine, MeasureConfig};
+use eagle::opgraph::{builders, GraphGenConfig};
 use eagle::tensor::Params;
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -29,21 +29,27 @@ use common::{assert_f32_close, assert_f64_close, assert_opt_f64_close, CURVE_ULP
 
 const MINIBATCH: usize = 10;
 
-fn tiny_env() -> (eagle::opgraph::OpGraph, Machine, Environment) {
-    let g = builders::gnmt(&builders::GnmtConfig {
+fn tiny_graph() -> (eagle::opgraph::OpGraph, Machine) {
+    let g = builders::try_gnmt(&builders::GnmtConfig {
         batch: 2,
         hidden: 4,
         layers: 2,
         seq_len: 3,
         vocab: 20,
-    });
-    let m = Machine::paper_machine();
-    let env = Environment::builder(g.clone(), m.clone())
+    })
+    .expect("valid GNMT config");
+    (g, Machine::paper_machine())
+}
+
+fn tiny_trainer(cfg: TrainerConfig) -> (eagle::opgraph::OpGraph, Machine, Trainer) {
+    let (g, m) = tiny_graph();
+    let trainer = Trainer::builder(GraphSource::fixed(g.clone()), m.clone())
+        .config(cfg)
         .measure(MeasureConfig::default()) // noisy protocol: the RNG position matters
-        .seed(17)
+        .env_seed(17)
         .build()
-        .expect("valid tiny environment");
-    (g, m, env)
+        .expect("valid tiny trainer config");
+    (g, m, trainer)
 }
 
 fn config(algo: Algo, workers: usize, total: usize) -> TrainerConfig {
@@ -63,9 +69,9 @@ fn build_agent(g: &eagle::opgraph::OpGraph, m: &Machine) -> (Params, EagleAgent)
 }
 
 fn straight_run(algo: Algo, workers: usize, total: usize) -> (TrainResult, Params) {
-    let (g, m, mut env) = tiny_env();
+    let (g, m, trainer) = tiny_trainer(config(algo, workers, total));
     let (mut params, agent) = build_agent(&g, &m);
-    let result = train(&agent, &mut params, &mut env, &config(algo, workers, total));
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
     (result, params)
 }
 
@@ -81,20 +87,19 @@ fn killed_and_resumed(
     std::fs::remove_dir_all(dir).ok();
     // First life: dies (stops) right after the checkpoint at minibatch `kill_after`.
     {
-        let (g, m, mut env) = tiny_env();
-        let (mut params, agent) = build_agent(&g, &m);
         let mut cfg = config(algo, workers, kill_after * MINIBATCH);
         cfg.checkpoint_dir = Some(dir.to_path_buf());
         cfg.checkpoint_every = Some(1);
-        train(&agent, &mut params, &mut env, &cfg);
+        let (g, m, trainer) = tiny_trainer(cfg);
+        let (mut params, agent) = build_agent(&g, &m);
+        trainer.train(&agent, &mut params).expect("first life trains");
     }
     // Second life: a brand-new process image resumes from disk.
     let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).expect("checkpoint readable");
     assert_eq!(state.samples as usize, kill_after * MINIBATCH);
-    let (g, m, mut env) = tiny_env();
+    let (g, m, trainer) = tiny_trainer(config(algo, workers, total));
     let (mut params, agent) = build_agent(&g, &m);
-    let result = train_from(&agent, &mut params, &mut env, &config(algo, workers, total), state)
-        .expect("resume accepted");
+    let result = trainer.train_from(&agent, &mut params, state).expect("resume accepted");
     (result, params)
 }
 
@@ -168,12 +173,12 @@ fn kill_and_resume_is_bit_identical_for_every_algo_and_worker_count() {
 fn corrupt_checkpoint_fails_typed_and_fresh_file_survives_interrupted_save() {
     let dir = tmp("corrupt");
     std::fs::remove_dir_all(&dir).ok();
-    let (g, m, mut env) = tiny_env();
-    let (mut params, agent) = build_agent(&g, &m);
     let mut cfg = config(Algo::Ppo, 1, 20);
     cfg.checkpoint_dir = Some(dir.clone());
     cfg.checkpoint_every = Some(1);
-    train(&agent, &mut params, &mut env, &cfg);
+    let (g, m, trainer) = tiny_trainer(cfg);
+    let (mut params, agent) = build_agent(&g, &m);
+    trainer.train(&agent, &mut params).expect("training run succeeds");
 
     let path = dir.join(CHECKPOINT_FILE);
     let good = std::fs::read(&path).unwrap();
@@ -204,6 +209,79 @@ proptest! {
         let straight = straight_run(Algo::PpoCe, 0, TOTAL);
         let resumed = killed_and_resumed(Algo::PpoCe, 0, kill_after, TOTAL, &dir);
         assert_run_matches(&straight, &resumed, &format!("boundary {kill_after}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Multi-graph trainer over a tiny GraphGen distribution with a held-out
+/// graph and probes on — the full generalist checkpoint surface (GraphSource
+/// RNG position, per-graph environment pool, retired snapshot, probe points).
+fn multi_trainer(cfg: TrainerConfig) -> (eagle::opgraph::OpGraph, Machine, Trainer) {
+    let m = Machine::paper_machine();
+    let source = GraphSource::generated(GraphGenConfig::with_target(48), 99)
+        .expect("valid generated source");
+    let seed_graph = source.build(&source.holdout_origins(1)[0]);
+    let trainer = Trainer::builder(source, m.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(17)
+        .holdout(1)
+        .probe_every(2)
+        .probe_candidates(2)
+        .build()
+        .expect("valid multi-graph trainer config");
+    (seed_graph, m, trainer)
+}
+
+fn multi_straight_run(total: usize) -> (TrainResult, Params) {
+    let (g, m, trainer) = multi_trainer(config(Algo::Ppo, 1, total));
+    let (mut params, agent) = build_agent(&g, &m);
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
+    (result, params)
+}
+
+fn multi_killed_and_resumed(
+    kill_after: usize,
+    total: usize,
+    dir: &std::path::Path,
+) -> (TrainResult, Params) {
+    std::fs::remove_dir_all(dir).ok();
+    {
+        let mut cfg = config(Algo::Ppo, 1, kill_after * MINIBATCH);
+        cfg.checkpoint_dir = Some(dir.to_path_buf());
+        cfg.checkpoint_every = Some(1);
+        let (g, m, trainer) = multi_trainer(cfg);
+        let (mut params, agent) = build_agent(&g, &m);
+        trainer.train(&agent, &mut params).expect("first life trains");
+    }
+    let state = load_checkpoint(dir.join(CHECKPOINT_FILE)).expect("checkpoint readable");
+    assert_eq!(state.samples as usize, kill_after * MINIBATCH);
+    assert!(!state.entries.is_empty(), "multi-graph checkpoint carries the env pool");
+    let (g, m, trainer) = multi_trainer(config(Algo::Ppo, 1, total));
+    let (mut params, agent) = build_agent(&g, &m);
+    let result = trainer.train_from(&agent, &mut params, state).expect("resume accepted");
+    (result, params)
+}
+
+#[test]
+fn multi_graph_kill_and_resume_is_bit_identical() {
+    const TOTAL: usize = 60;
+    for kill_after in [1usize, 3, 5] {
+        let dir = tmp(&format!("multi-{kill_after}"));
+        let straight = multi_straight_run(TOTAL);
+        let resumed = multi_killed_and_resumed(kill_after, TOTAL, &dir);
+        let ctx = format!("multi-graph boundary {kill_after}");
+        assert_run_matches(&straight, &resumed, &ctx);
+        // Zero-shot probe points must replay identically through the resume:
+        // the probe RNG is derived from (config seed, minibatch index), never
+        // from training state lost in the kill.
+        assert_eq!(straight.0.curve.probes, resumed.0.curve.probes, "{ctx}: probes");
+        assert!(!straight.0.curve.probes.is_empty(), "{ctx}: probes were requested");
+        // The pool itself restores: same graphs drawn, same per-graph counts.
+        let names = |r: &TrainResult| {
+            r.graphs.iter().map(|g| (g.name.clone(), g.samples)).collect::<Vec<_>>()
+        };
+        assert_eq!(names(&straight.0), names(&resumed.0), "{ctx}: graph summaries");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,8 +1,8 @@
 //! Integration tests of configuration plumbing: trainer knobs, scales, and curve
 //! export behave coherently through the public API.
 
-use eagle::core::{train, AgentScale, Algo, Curve, EagleAgent, TrainerConfig};
-use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle::core::{AgentScale, Algo, Curve, EagleAgent, GraphSource, Trainer, TrainerConfig};
+use eagle::devsim::{Benchmark, Machine, MeasureConfig};
 use eagle::rl::RewardTransform;
 use eagle::tensor::Params;
 use rand::SeedableRng;
@@ -11,17 +11,18 @@ use rand_chacha::ChaCha8Rng;
 fn quick_run(mutate: impl FnOnce(&mut TrainerConfig)) -> eagle::core::TrainResult {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let mut env = Environment::builder(graph.clone(), machine.clone())
-        .measure(MeasureConfig::default())
-        .seed(8)
-        .build()
-        .expect("inception environment is valid");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(8);
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
     let mut cfg = TrainerConfig::paper(Algo::Ppo, 30);
     mutate(&mut cfg);
-    train(&agent, &mut params, &mut env, &cfg)
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(8)
+        .build()
+        .expect("inception trainer config is valid");
+    trainer.train(&agent, &mut params).expect("training run succeeds")
 }
 
 #[test]

@@ -3,32 +3,34 @@
 //! behaves deterministically under a fixed seed.
 
 use eagle::core::{
-    train, AgentScale, Algo, EagleAgent, FixedGroupAgent, HpAgent, PlacerKind, TrainerConfig,
+    AgentScale, Algo, EagleAgent, FixedGroupAgent, GraphSource, HpAgent, PlacerKind, Trainer,
+    TrainerConfig,
 };
-use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle::devsim::{Benchmark, Machine, MeasureConfig};
 use eagle::partition::{metis_like::MetisLike, Partitioner};
 use eagle::tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn inception_env(seed: u64) -> (eagle::opgraph::OpGraph, Machine, Environment) {
+fn inception_trainer(seed: u64, cfg: TrainerConfig) -> (eagle::opgraph::OpGraph, Machine, Trainer) {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let env = Environment::builder(graph.clone(), machine.clone())
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
         .measure(MeasureConfig::default())
-        .seed(seed)
+        .env_seed(seed)
         .build()
-        .expect("inception environment is valid");
-    (graph, machine, env)
+        .expect("inception trainer config is valid");
+    (graph, machine, trainer)
 }
 
 #[test]
 fn eagle_trains_on_calibrated_inception() {
-    let (graph, machine, mut env) = inception_env(1);
+    let (graph, machine, trainer) = inception_trainer(1, TrainerConfig::paper(Algo::Ppo, 60));
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
-    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 60));
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
     let t = result.final_step_time.expect("valid placement found");
     // Single GPU is calibrated to 0.071; anything within 3x certifies the agent is
     // producing sane placements (random scatter costs ~0.3s+).
@@ -38,18 +40,20 @@ fn eagle_trains_on_calibrated_inception() {
 
 #[test]
 fn hp_trains_and_reports_grouping_actions() {
-    let (graph, machine, mut env) = inception_env(2);
+    let (graph, machine, trainer) = inception_trainer(2, TrainerConfig::paper(Algo::Ppo, 30));
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let agent = HpAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
-    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
     assert!(result.final_step_time.is_some());
     assert_eq!(result.samples, 30);
 }
 
 #[test]
 fn post_trains_with_ppo_ce() {
-    let (graph, machine, mut env) = inception_env(3);
+    let mut cfg = TrainerConfig::paper(Algo::PpoCe, 60);
+    cfg.ce_interval = 20;
+    let (graph, machine, trainer) = inception_trainer(3, cfg);
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let k = AgentScale::tiny().num_groups;
@@ -63,15 +67,13 @@ fn post_trains_with_ppo_ce() {
         AgentScale::tiny(),
         &mut rng,
     );
-    let mut cfg = TrainerConfig::paper(Algo::PpoCe, 60);
-    cfg.ce_interval = 20;
-    let result = train(&agent, &mut params, &mut env, &cfg);
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
     assert!(result.final_step_time.is_some());
 }
 
 #[test]
 fn fixed_group_agent_with_gcn_placer_trains() {
-    let (graph, machine, mut env) = inception_env(4);
+    let (graph, machine, trainer) = inception_trainer(4, TrainerConfig::paper(Algo::Ppo, 30));
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let k = AgentScale::tiny().num_groups;
@@ -87,18 +89,18 @@ fn fixed_group_agent_with_gcn_placer_trains() {
         AgentScale::tiny(),
         &mut rng,
     );
-    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
     assert!(result.final_step_time.is_some());
 }
 
 #[test]
 fn training_is_deterministic_for_fixed_seeds() {
     let run = || {
-        let (graph, machine, mut env) = inception_env(5);
+        let (graph, machine, trainer) = inception_trainer(5, TrainerConfig::paper(Algo::Ppo, 30));
         let mut params = Params::new();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
-        let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 30));
+        let result = trainer.train(&agent, &mut params).expect("training run succeeds");
         (result.final_step_time, result.num_invalid, result.curve.points.last().unwrap().wall_clock)
     };
     assert_eq!(run(), run(), "same seeds must reproduce bit-identical runs");
@@ -106,16 +108,13 @@ fn training_is_deterministic_for_fixed_seeds() {
 
 #[test]
 fn eagle_curve_tracks_environment_bookkeeping() {
-    let (graph, machine, mut env) = inception_env(6);
+    let (graph, machine, trainer) = inception_trainer(6, TrainerConfig::paper(Algo::Ppo, 40));
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
-    let result = train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 40));
-    // 40 training evals + 1 final re-measurement.
-    let snap = env.snapshot();
-    assert_eq!(snap.evals, 40);
-    assert_eq!(snap.evals, result.telemetry.evals);
-    assert!(env.wall_clock() > 0.0);
-    assert_eq!(snap.wall_clock, env.wall_clock());
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
+    // One eval per training sample, all visible through the run telemetry.
+    assert_eq!(result.telemetry.evals, 40);
+    assert!(result.telemetry.sim_wall_clock > 0.0);
     assert_eq!(result.curve.num_invalid(), result.num_invalid);
 }

@@ -8,9 +8,10 @@
 //! the budget only licenses mathematically neutral float reorderings inside
 //! the single-backward update path, not different results).
 
-use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainResult, TrainerConfig};
-use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
+use eagle::core::{AgentScale, Algo, EagleAgent, GraphSource, TrainResult, Trainer, TrainerConfig};
+use eagle::devsim::{Benchmark, Machine, MeasureConfig};
 use eagle::obs::Recorder;
+use eagle::opgraph::GraphGenConfig;
 use eagle::tensor::Params;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,18 +26,45 @@ fn run_with_workers(workers: usize) -> TrainResult {
 fn run_with_workers_and_recorder(workers: usize, recorder: Recorder) -> TrainResult {
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
-    let mut env = Environment::builder(graph.clone(), machine.clone())
-        .measure(MeasureConfig::default())
-        .seed(42)
-        .recorder(recorder)
-        .build()
-        .expect("inception environment is valid");
     let mut params = Params::new();
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
     let mut cfg = TrainerConfig::paper(Algo::Ppo, 40);
     cfg.workers = workers;
-    train(&agent, &mut params, &mut env, &cfg)
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(42)
+        .recorder(recorder)
+        .build()
+        .expect("inception trainer config is valid");
+    trainer.train(&agent, &mut params).expect("training run succeeds")
+}
+
+/// Multi-graph run: a GraphGen distribution with a held-out graph and
+/// zero-shot probes on, so worker-count independence is asserted over the
+/// whole generalist path (per-graph environments, probe RNG, pool bookkeeping).
+fn run_multi_with_workers(workers: usize) -> (TrainResult, Params) {
+    let machine = Machine::paper_machine();
+    let source = GraphSource::generated(GraphGenConfig::with_target(48), 99)
+        .expect("valid generated source");
+    let seed_graph = source.build(&source.holdout_origins(1)[0]);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let agent = EagleAgent::new(&mut params, &seed_graph, &machine, AgentScale::tiny(), &mut rng);
+    let mut cfg = TrainerConfig::paper(Algo::Ppo, 40);
+    cfg.workers = workers;
+    let trainer = Trainer::builder(source, machine)
+        .config(cfg)
+        .measure(MeasureConfig::default())
+        .env_seed(7)
+        .holdout(1)
+        .probe_every(2)
+        .probe_candidates(2)
+        .build()
+        .expect("valid generalist trainer config");
+    let result = trainer.train(&agent, &mut params).expect("training run succeeds");
+    (result, params)
 }
 
 #[test]
@@ -103,4 +131,34 @@ fn auto_worker_count_matches_serial_too() {
     assert_curves_close(&serial.curve, &auto.curve, "serial vs auto");
     assert_eq!(serial.best_placement, auto.best_placement);
     assert!(auto.telemetry.workers >= 1);
+}
+
+#[test]
+fn multi_graph_training_is_worker_count_independent() {
+    let (serial, serial_params) = run_multi_with_workers(1);
+    let (parallel, parallel_params) = run_multi_with_workers(4);
+
+    assert_curves_close(&serial.curve, &parallel.curve, "multi-graph serial vs parallel");
+    // Zero-shot probes are part of the contract: identical graphs, identical
+    // best-of-K step times, at identical sample indices.
+    assert_eq!(serial.curve.probes, parallel.curve.probes, "probe points diverged");
+    assert!(!serial.curve.probes.is_empty(), "probes were requested");
+    assert_eq!(serial.samples, parallel.samples);
+    assert_eq!(serial.num_invalid, parallel.num_invalid);
+    assert_eq!(serial.telemetry.cache_hits, parallel.telemetry.cache_hits);
+    assert_eq!(serial.telemetry.evals, parallel.telemetry.evals);
+    // The trained generalist policy itself must match bit-for-bit.
+    assert_eq!(serial_params.len(), parallel_params.len());
+    for id in serial_params.ids() {
+        assert_eq!(
+            serial_params.get(id).data(),
+            parallel_params.get(id).data(),
+            "param {} diverged across worker counts",
+            serial_params.name(id)
+        );
+    }
+    // Per-graph summaries (which graphs were drawn, how often) are discrete.
+    let names =
+        |r: &TrainResult| r.graphs.iter().map(|g| (g.name.clone(), g.samples)).collect::<Vec<_>>();
+    assert_eq!(names(&serial), names(&parallel));
 }

@@ -324,3 +324,44 @@ fn daemon_sheds_overload_with_typed_replies_and_bounded_queue() {
     }
     server.shutdown();
 }
+
+#[test]
+fn daemon_answers_unknown_families_and_zero_shot_via_generalist() {
+    let machine = Machine::paper_machine();
+    let graph = Benchmark::InceptionV3.graph_for(&machine);
+    // The store publishes ONLY a generalist policy — no per-benchmark families.
+    let root = std::env::temp_dir().join("eagle-serve-e2e").join("generalist");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let state = untrained_state(&graph, &machine, AgentScale::tiny(), 7).expect("fabricate state");
+    let version =
+        publish_state(&root, eagle::serve::GENERALIST_FAMILY, "tiny", &state).expect("publish");
+
+    let server = start_server(&root);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let key = client.register_graph(&graph).expect("register");
+
+    // A family the store has never heard of is answered by the generalist —
+    // a valid placement, stamped with the generalist's policy version.
+    let resp = client.place(PlaceRequest::by_key(1, "resnet_slim", &key)).expect("reply");
+    assert!(resp.error.is_none(), "unknown family must fall back, got {:?}", resp.error);
+    assert_eq!(resp.placement.as_ref().unwrap().len(), graph.len());
+    assert_eq!(resp.policy_version.as_deref(), Some(version.as_str()));
+
+    // Zero-shot: no family preference, inline graph the server has never seen
+    // (GraphGen-sampled, not a benchmark). Parameters are graph-independent by
+    // construction, so the generalist answers without any retraining.
+    let novel = eagle::opgraph::GraphGen::new(eagle::opgraph::GraphGenConfig::with_target(48))
+        .expect("valid generator config")
+        .sample(5);
+    let resp = client.place(PlaceRequest::zero_shot(2, novel.clone())).expect("reply");
+    assert!(resp.error.is_none(), "zero-shot request failed: {:?}", resp.error);
+    assert_eq!(resp.placement.as_ref().unwrap().len(), novel.len());
+    assert!(resp.predicted_step_time.unwrap() > 0.0);
+
+    // Only the unknown-family rescue counts as a fallback; asking for the
+    // generalist (implicitly, via no preference) is a direct hit.
+    assert_eq!(server.recorder().counter_value("serve.generalist_fallbacks"), 1);
+    assert_eq!(server.recorder().counter_value("serve.errors"), 0);
+    server.shutdown();
+}

@@ -4,7 +4,7 @@
 //! and their JSON types are a public contract: any change must bump
 //! `eagle::obs::SCHEMA_VERSION` and update this test deliberately.
 
-use eagle::core::{train, AgentScale, Algo, EagleAgent, TrainerConfig};
+use eagle::core::{AgentScale, Algo, EagleAgent, GraphSource, Trainer, TrainerConfig};
 use eagle::devsim::{Benchmark, Environment, Machine, MeasureConfig};
 use eagle::obs::{write_jsonl, Recorder, SCHEMA_VERSION};
 use eagle::tensor::Params;
@@ -17,18 +17,25 @@ fn instrumented_run() -> Recorder {
     let recorder = Recorder::new();
     let machine = Machine::paper_machine();
     let graph = Benchmark::InceptionV3.graph_for(&machine);
+    let mut params = Params::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
+    let trainer = Trainer::builder(GraphSource::fixed(graph.clone()), machine.clone())
+        .config(TrainerConfig::paper(Algo::Ppo, 20))
+        .measure(MeasureConfig::default())
+        .env_seed(5)
+        .recorder(recorder.clone())
+        .build()
+        .expect("inception trainer config is valid");
+    trainer.train(&agent, &mut params).expect("training run succeeds");
+    // Re-evaluating a fixed placement twice guarantees the cache-hit counter
+    // exists even when the short training run never repeats a placement.
     let mut env = Environment::builder(graph.clone(), machine.clone())
         .measure(MeasureConfig::default())
         .seed(5)
         .recorder(recorder.clone())
         .build()
         .expect("inception environment is valid");
-    let mut params = Params::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let agent = EagleAgent::new(&mut params, &graph, &machine, AgentScale::tiny(), &mut rng);
-    train(&agent, &mut params, &mut env, &TrainerConfig::paper(Algo::Ppo, 20));
-    // Re-evaluating a fixed placement twice guarantees the cache-hit counter
-    // exists even when the short training run never repeats a placement.
     let single = eagle::devsim::predefined::single_gpu(&graph, &machine);
     env.evaluate(&single);
     env.evaluate(&single);
